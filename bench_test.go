@@ -1,0 +1,252 @@
+package reo
+
+// This file holds the benchmark harness required by the reproduction: one
+// testing.B benchmark per table/figure in the paper's evaluation (§VI),
+// each driving the corresponding experiment at a reduced scale and
+// reporting the headline quantity as a custom metric, plus public-API
+// microbenchmarks for the hit, miss, write-back, and degraded-read paths.
+//
+// Full paper-scale regeneration (with printed tables) is done by
+// cmd/reobench; these benches keep the experiment paths exercised and
+// timed under `go test -bench`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/harness"
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+// benchOpts is a reduced-scale configuration so a full `-bench=.` pass
+// completes in minutes. Hit ratios at this scale differ in magnitude from
+// paper scale but keep the cross-policy ordering.
+func benchOpts() harness.Options {
+	return harness.Options{
+		Scale:       1.0 / 512,
+		Seed:        1,
+		Objects:     150,
+		Requests:    1500,
+		Parallelism: 4,
+	}
+}
+
+// BenchmarkTableSpaceEfficiency regenerates the §VI.B space-efficiency
+// table (Reo-10/20/40% across the three localities).
+func BenchmarkTableSpaceEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SpaceEfficiency(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Policy == "Reo-10%" && r.Locality == workload.Medium {
+					b.ReportMetric(r.SpaceEfficiencyPct, "reo10-space-eff-%")
+				}
+			}
+		}
+	}
+}
+
+func benchNormalRun(b *testing.B, loc workload.Locality) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.NormalRun(loc, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Policy == "Reo-20%" && r.CacheSizePct == 10 {
+					b.ReportMetric(r.HitRatioPct, "reo20@10%-hit-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig5WeakNormalRun regenerates Fig 5 (weak locality: hit ratio,
+// bandwidth, latency vs cache size for all six policies).
+func BenchmarkFig5WeakNormalRun(b *testing.B) { benchNormalRun(b, workload.Weak) }
+
+// BenchmarkFig6MediumNormalRun regenerates Fig 6 (medium locality).
+func BenchmarkFig6MediumNormalRun(b *testing.B) { benchNormalRun(b, workload.Medium) }
+
+// BenchmarkFig7StrongNormalRun regenerates Fig 7 (strong locality).
+func BenchmarkFig7StrongNormalRun(b *testing.B) { benchNormalRun(b, workload.Strong) }
+
+// BenchmarkFig8FailureResistance regenerates Fig 8 (hit ratio, bandwidth,
+// latency vs number of failed devices).
+func BenchmarkFig8FailureResistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.FailureResistance(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Policy == "Reo-40%" && r.Failures == 3 {
+					b.ReportMetric(r.HitRatioPct, "reo40@3fail-hit-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9DirtyDataProtection regenerates Fig 9 (full replication vs
+// Reo across write ratios) and the abstract's headline multipliers.
+func BenchmarkFig9DirtyDataProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.DirtyDataProtection(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			h := harness.HeadlineClaims(rows)
+			b.ReportMetric(h.MaxHitRatioGain, "max-hit-gain-x")
+			b.ReportMetric(h.MaxBandwidthGain, "max-bw-gain-x")
+		}
+	}
+}
+
+// BenchmarkAblationRecoveryOrder compares class-ordered vs stripe-ordered
+// recovery (DESIGN.md ablation).
+func BenchmarkAblationRecoveryOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RecoveryAblation(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHotnessMetric compares H=Freq/Size vs frequency-only
+// classification (DESIGN.md ablation).
+func BenchmarkAblationHotnessMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.HotnessAblation(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the stripe chunk size (DESIGN.md
+// ablation).
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ChunkAblation(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWearLevelling compares rotated vs dedicated parity
+// placement (DESIGN.md ablation).
+func BenchmarkAblationWearLevelling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.WearAblation(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Public-API microbenchmarks -------------------------------------------
+
+func benchCache(b *testing.B, opts ...Option) *Cache {
+	b.Helper()
+	base := []Option{
+		WithCacheCapacity(64 << 20),
+		WithChunkSize(16 << 10),
+	}
+	c, err := New(append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkReadHit measures the flash hit path end to end (object lookup,
+// stripe reads, LRU bump, virtual-time accounting).
+func BenchmarkReadHit(b *testing.B) {
+	c := benchCache(b)
+	id := UserObject(1)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := c.Seed(id, payload); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Read(id); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, res, err := c.Read(id); err != nil || !res.Hit {
+			b.Fatalf("hit path failed: %+v, %v", res, err)
+		}
+	}
+}
+
+// BenchmarkReadMiss measures the miss path (backend fetch + admission +
+// eviction pressure).
+func BenchmarkReadMiss(b *testing.B) {
+	c := benchCache(b, WithCacheCapacity(4<<20))
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(2)).Read(payload)
+	// A population far larger than the cache so reads keep missing.
+	const population = 512
+	for i := uint64(0); i < population; i++ {
+		if err := c.Seed(UserObject(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Read(UserObject(uint64(i*97) % population)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteBack measures the write-back absorption path (replicated
+// dirty write + dirty accounting).
+func BenchmarkWriteBack(b *testing.B) {
+	c := benchCache(b, WithMaxDirtyFraction(0.9))
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(3)).Read(payload)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Overwrite a small set so dirty bytes stay bounded.
+		if _, err := c.Write(UserObject(uint64(i%8)), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegradedRead measures the on-the-fly reconstruction path: a hit
+// whose stripes lost one chunk to a failed device.
+func BenchmarkDegradedRead(b *testing.B) {
+	c := benchCache(b, WithPolicy(UniformPolicy(2)))
+	id := UserObject(1)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(4)).Read(payload)
+	if err := c.Seed(id, payload); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Read(id); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.InjectDeviceFailure(0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := c.Read(id)
+		if err != nil || !res.Hit {
+			b.Fatalf("degraded path failed: %+v, %v", res, err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Command reobench regenerates every table and figure in the Reo paper's
+// evaluation (§VI) from the Go reproduction, printing the same rows/series
+// the paper reports.
+//
+// Usage:
+//
+//	reobench -experiment all
+//	reobench -experiment fig8 -scale 0.015625 -seed 42
+//
+// Experiments: space, fig5, fig6, fig7, fig8, fig9, headline,
+// ablate-recovery, ablate-hotness, ablate-chunk, all.
+//
+// The -scale flag linearly scales object and chunk sizes relative to the
+// paper (1.0 = 4.4MB mean objects ≈ 17GB data set; the default 1/64 keeps
+// the data set around 270MB). Hit ratios are scale-invariant; bandwidth and
+// latency keep their relative shape (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/reo-cache/reo/internal/harness"
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reobench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "which experiment to run (space|fig5|fig6|fig7|fig8|fig9|headline|ablate-recovery|ablate-hotness|ablate-chunk|all)")
+		scale      = fs.Float64("scale", 1.0/64, "linear size scale vs the paper (1.0 = 4.4MB mean objects)")
+		seed       = fs.Int64("seed", 1, "trace synthesis seed")
+		parallel   = fs.Int("parallel", defaultParallelism(), "concurrent experiment runs")
+		objects    = fs.Int("objects", 0, "override object population (0 = paper's 4000)")
+		requests   = fs.Int("requests", 0, "override request count (0 = paper's per-locality counts)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := harness.Options{
+		Scale:       *scale,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		Objects:     *objects,
+		Requests:    *requests,
+	}
+
+	dispatch := map[string]func(harness.Options) error{
+		"space":           runSpace,
+		"fig5":            func(o harness.Options) error { return runNormal(workload.Weak, "Fig 5", o) },
+		"fig6":            func(o harness.Options) error { return runNormal(workload.Medium, "Fig 6", o) },
+		"fig7":            func(o harness.Options) error { return runNormal(workload.Strong, "Fig 7", o) },
+		"fig8":            runFig8,
+		"fig9":            runFig9,
+		"headline":        runHeadline,
+		"ablate-recovery": runAblateRecovery,
+		"ablate-hotness":  runAblateHotness,
+		"ablate-chunk":    runAblateChunk,
+		"ablate-wear":     runAblateWear,
+	}
+	// "all" omits the standalone headline experiment: fig9 already prints
+	// the headline multipliers from its own rows.
+	order := []string{
+		"space", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablate-recovery", "ablate-hotness", "ablate-chunk", "ablate-wear",
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = order
+	}
+	for _, name := range names {
+		fn, ok := dispatch[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)", name, strings.Join(order, ", "))
+		}
+		start := time.Now()
+		if err := fn(opts); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func defaultParallelism() int {
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 6 {
+		n = 6 // each run holds a full backend data set in memory
+	}
+	return n
+}
+
+func table(header string) *tabwriter.Writer {
+	fmt.Println(header)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	return w
+}
+
+func runSpace(opts harness.Options) error {
+	rows, err := harness.SpaceEfficiency(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Space efficiency (§VI.B) — paper: Reo-10% ≈ 90.5/91.0/90% for weak/medium/strong ==")
+	fmt.Fprintln(w, "locality\tpolicy\tspace efficiency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%s\t%.1f%%\n", r.Locality, r.Policy, r.SpaceEfficiencyPct)
+	}
+	return w.Flush()
+}
+
+func runNormal(loc workload.Locality, fig string, opts harness.Options) error {
+	rows, err := harness.NormalRun(loc, opts)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("== %s: normal run, %s locality — hit ratio / bandwidth / latency vs cache size ==", fig, loc))
+	fmt.Fprintln(w, "policy\tcache%\thit ratio\tbandwidth\tlatency\tspace eff")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d%%\t%.1f%%\t%.1f MB/s\t%.2f ms\t%.1f%%\n",
+			r.Policy, r.CacheSizePct, r.HitRatioPct, r.BandwidthMBps, r.LatencyMs, r.SpaceEfficiencyPct)
+	}
+	return w.Flush()
+}
+
+func runFig8(opts harness.Options) error {
+	rows, err := harness.FailureResistance(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Fig 8: failure resistance — metrics per number of failed devices (medium locality, warm cache) ==")
+	fmt.Fprintln(w, "policy\tfailures\thit ratio\tbandwidth\tlatency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f MB/s\t%.2f ms\n",
+			r.Policy, r.Failures, r.HitRatioPct, r.BandwidthMBps, r.LatencyMs)
+	}
+	return w.Flush()
+}
+
+func runFig9(opts harness.Options) error {
+	rows, err := harness.DirtyDataProtection(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Fig 9: dirty data protection — full replication vs Reo across write ratios ==")
+	fmt.Fprintln(w, "policy\twrite ratio\thit ratio\tbandwidth\tlatency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d%%\t%.1f%%\t%.1f MB/s\t%.2f ms\n",
+			r.Policy, r.WriteRatioPct, r.HitRatioPct, r.BandwidthMBps, r.LatencyMs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	h := harness.HeadlineClaims(rows)
+	fmt.Printf("headline: max hit-ratio gain %.2fx (paper: up to 3.1x), max bandwidth gain %.2fx (paper: up to 3.6x)\n",
+		h.MaxHitRatioGain, h.MaxBandwidthGain)
+	return nil
+}
+
+func runHeadline(opts harness.Options) error {
+	rows, err := harness.DirtyDataProtection(opts)
+	if err != nil {
+		return err
+	}
+	h := harness.HeadlineClaims(rows)
+	fmt.Println("== Headline claims (abstract) — paper: up to 3.1× hit ratio, 3.6× bandwidth vs full replication ==")
+	fmt.Printf("max hit-ratio gain: %.2fx\n", h.MaxHitRatioGain)
+	fmt.Printf("max bandwidth gain: %.2fx\n", h.MaxBandwidthGain)
+	return nil
+}
+
+func runAblateRecovery(opts harness.Options) error {
+	rows, err := harness.RecoveryAblation(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Ablation: differentiated (by-class) vs traditional (by-stripe) recovery ordering ==")
+	fmt.Fprintln(w, "order\thit ratio during recovery\timportant-first\trecovery done @req\trebuilt")
+	for _, r := range rows {
+		done := "not finished"
+		if r.RecoveryDoneRequest >= 0 {
+			done = fmt.Sprintf("%d", r.RecoveryDoneRequest)
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.0f%%\t%s\t%d\n",
+			r.Order, r.HitRatioPct, r.ImportantRecoveredFirstPct, done, r.Rebuilt)
+	}
+	return w.Flush()
+}
+
+func runAblateHotness(opts harness.Options) error {
+	rows, err := harness.HotnessAblation(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Ablation: H = Freq/Size vs frequency-only hot classification (Reo-20%, one failure) ==")
+	fmt.Fprintln(w, "metric\tnormal hit\thit after 1 failure")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f%%\t%.1f%%\n", r.Metric, r.NormalHitPct, r.AfterFailureHitPct)
+	}
+	return w.Flush()
+}
+
+func runAblateWear(opts harness.Options) error {
+	rows, err := harness.WearAblation(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Ablation: round-robin parity rotation vs dedicated parity placement (wear) ==")
+	fmt.Fprintln(w, "placement\tmax wear\tmin wear\timbalance")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\n", r.Placement, r.MaxWearCycles, r.MinWearCycles, r.Imbalance)
+	}
+	return w.Flush()
+}
+
+func runAblateChunk(opts harness.Options) error {
+	rows, err := harness.ChunkAblation(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Ablation: chunk size sweep (Reo-20%, medium locality) ==")
+	fmt.Fprintln(w, "chunk\thit ratio\tbandwidth\tlatency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d B\t%.1f%%\t%.1f MB/s\t%.2f ms\n",
+			r.ChunkBytes, r.HitRatioPct, r.BandwidthMBps, r.LatencyMs)
+	}
+	return w.Flush()
+}

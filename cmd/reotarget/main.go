@@ -1,0 +1,133 @@
+// Command reotarget runs a standalone Reo object storage target — the
+// network-facing equivalent of the paper's user-level osd-target process —
+// serving the initiator protocol over TCP.
+//
+// Usage:
+//
+//	reotarget -listen :9700 -devices 5 -capacity 128MiB -chunk 64KiB -policy reo-20
+//
+// Policies: reo-10, reo-20, reo-40, 0-parity, 1-parity, 2-parity,
+// full-replication.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reotarget:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reotarget", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:9700", "listen address")
+		devices  = fs.Int("devices", 5, "flash array width")
+		capacity = fs.String("capacity", "128MiB", "per-device capacity (e.g. 64MiB, 1GiB)")
+		chunk    = fs.String("chunk", "64KiB", "stripe chunk size")
+		policyFl = fs.String("policy", "reo-20", "redundancy policy (reo-10|reo-20|reo-40|0-parity|1-parity|2-parity|full-replication)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	capBytes, err := parseSize(*capacity)
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	chunkBytes, err := parseSize(*chunk)
+	if err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	pol, budget, err := parsePolicy(*policyFl)
+	if err != nil {
+		return err
+	}
+
+	st, err := store.New(store.Config{
+		Devices:          *devices,
+		DeviceSpec:       flash.Intel540s(capBytes),
+		ChunkSize:        int(chunkBytes),
+		Policy:           pol,
+		RedundancyBudget: budget,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := transport.NewServer(st, ln)
+	fmt.Printf("reotarget: serving %s on %s (%d × %s devices, %s chunks)\n",
+		pol.Name(), srv.Addr(), *devices, *capacity, *chunk)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("reotarget: shutting down")
+	return srv.Close()
+}
+
+// parsePolicy maps a CLI name to a policy and its redundancy budget.
+func parsePolicy(name string) (policy.Policy, float64, error) {
+	switch strings.ToLower(name) {
+	case "reo-10":
+		return policy.Reo{ParityBudget: 0.10}, 0.10, nil
+	case "reo-20":
+		return policy.Reo{ParityBudget: 0.20}, 0.20, nil
+	case "reo-40":
+		return policy.Reo{ParityBudget: 0.40}, 0.40, nil
+	case "0-parity":
+		return policy.Uniform{ParityChunks: 0}, 0, nil
+	case "1-parity":
+		return policy.Uniform{ParityChunks: 1}, 0, nil
+	case "2-parity":
+		return policy.Uniform{ParityChunks: 2}, 0, nil
+	case "full-replication":
+		return policy.FullReplication{}, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+// parseSize parses sizes like "64KiB", "128MiB", "1GiB", "4096".
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	for _, suffix := range []struct {
+		name string
+		mult int64
+	}{
+		{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	} {
+		if strings.HasSuffix(s, suffix.name) {
+			mult = suffix.mult
+			s = strings.TrimSuffix(s, suffix.name)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("size must be positive, got %d", n)
+	}
+	return n * mult, nil
+}

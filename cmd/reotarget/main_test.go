@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"4096", 4096, false},
+		{"64KiB", 64 << 10, false},
+		{"128MiB", 128 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"2KB", 2000, false},
+		{"3MB", 3e6, false},
+		{"1GB", 1e9, false},
+		{"16B", 16, false},
+		{" 8KiB ", 8 << 10, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"-5MiB", 0, true},
+		{"0", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseSize(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseSize(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		in         string
+		wantName   string
+		wantBudget float64
+		wantErr    bool
+	}{
+		{"reo-10", "Reo-10%", 0.10, false},
+		{"reo-20", "Reo-20%", 0.20, false},
+		{"REO-40", "Reo-40%", 0.40, false},
+		{"0-parity", "0-parity", 0, false},
+		{"1-parity", "1-parity", 0, false},
+		{"2-parity", "2-parity", 0, false},
+		{"full-replication", "full-replication", 0, false},
+		{"raid6", "", 0, true},
+	}
+	for _, tc := range tests {
+		pol, budget, err := parsePolicy(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parsePolicy(%q) err = %v", tc.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if pol.Name() != tc.wantName || budget != tc.wantBudget {
+			t.Errorf("parsePolicy(%q) = %s/%v, want %s/%v", tc.in, pol.Name(), budget, tc.wantName, tc.wantBudget)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-capacity", "nonsense"}); err == nil {
+		t.Fatal("bad capacity accepted")
+	}
+	if err := run([]string{"-chunk", "-1"}); err == nil {
+		t.Fatal("bad chunk accepted")
+	}
+	if err := run([]string{"-policy", "raid6"}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if err := run([]string{"-listen", "999.999.999.999:0"}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command reotrace synthesises, inspects, and summarises MediSyn-style
+// workload traces (the paper's §VI.A workloads) in the repository's binary
+// trace container.
+//
+// Usage:
+//
+//	reotrace gen -locality medium -scale 0.015625 -write-ratio 0.2 -out medium.trc
+//	reotrace info medium.trc
+//	reotrace hist medium.trc     # popularity histogram (top objects)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reotrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: reotrace <gen|info|hist> ...")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "info":
+		return runInfo(args[1:])
+	case "hist":
+		return runHist(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		locality   = fs.String("locality", "medium", "weak|medium|strong")
+		scale      = fs.Float64("scale", 1.0/64, "size scale vs the paper")
+		writeRatio = fs.Float64("write-ratio", 0, "fraction of writes")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		objects    = fs.Int("objects", 0, "override object count")
+		requests   = fs.Int("requests", 0, "override request count")
+		out        = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	loc, err := parseLocality(*locality)
+	if err != nil {
+		return err
+	}
+	cfg := workload.Paper(loc, *scale, *writeRatio, *seed)
+	if *objects > 0 {
+		cfg.Objects = *objects
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := tr.WriteTo(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "reotrace: wrote %d requests over %d objects (%d bytes)\n",
+		len(tr.Requests), len(tr.Sizes), n)
+	return nil
+}
+
+func runInfo(args []string) error {
+	tr, err := loadTrace(args)
+	if err != nil {
+		return err
+	}
+	cfg := tr.Config
+	fmt.Printf("locality:     %v (zipf s=%.2f)\n", cfg.Locality, cfg.ZipfS)
+	fmt.Printf("objects:      %d (mean size %d B)\n", cfg.Objects, cfg.MeanObjectSize)
+	fmt.Printf("data set:     %d bytes\n", tr.DatasetBytes)
+	fmt.Printf("requests:     %d (%d reads, %d writes)\n", len(tr.Requests), tr.Reads, tr.Writes)
+	fmt.Printf("total access: %d bytes\n", tr.TotalBytes)
+	fmt.Printf("seed:         %d\n", cfg.Seed)
+	return nil
+}
+
+func runHist(args []string) error {
+	tr, err := loadTrace(args)
+	if err != nil {
+		return err
+	}
+	counts := make(map[int]int)
+	for _, r := range tr.Requests {
+		counts[r.Object]++
+	}
+	type oc struct{ obj, count int }
+	all := make([]oc, 0, len(counts))
+	for o, c := range counts {
+		all = append(all, oc{o, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].count > all[j].count })
+	top := all
+	if len(top) > 20 {
+		top = top[:20]
+	}
+	fmt.Println("top objects by request count:")
+	for _, e := range top {
+		bar := ""
+		width := e.count * 50 / all[0].count
+		for i := 0; i < width; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%6d  %6d  %s\n", e.obj, e.count, bar)
+	}
+	fmt.Printf("(%d of %d objects ever accessed)\n", len(counts), len(tr.Sizes))
+	return nil
+}
+
+func loadTrace(args []string) (*workload.Trace, error) {
+	if len(args) != 1 {
+		return nil, errors.New("expected one trace file argument")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadTrace(f)
+}
+
+func parseLocality(s string) (workload.Locality, error) {
+	switch s {
+	case "weak":
+		return workload.Weak, nil
+	case "medium":
+		return workload.Medium, nil
+	case "strong":
+		return workload.Strong, nil
+	default:
+		return 0, fmt.Errorf("unknown locality %q", s)
+	}
+}

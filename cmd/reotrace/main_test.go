@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+func TestParseLocality(t *testing.T) {
+	for in, want := range map[string]workload.Locality{
+		"weak":   workload.Weak,
+		"medium": workload.Medium,
+		"strong": workload.Strong,
+	} {
+		got, err := parseLocality(in)
+		if err != nil || got != want {
+			t.Errorf("parseLocality(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLocality("lukewarm"); err == nil {
+		t.Fatal("unknown locality accepted")
+	}
+}
+
+func TestGenInfoHistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.trc")
+	if err := run([]string{"gen", "-locality", "weak", "-objects", "50", "-requests", "500",
+		"-scale", "0.001", "-write-ratio", "0.1", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"hist", path}); err != nil {
+		t.Fatal(err)
+	}
+	// The file must parse back into the library type.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 500 || len(tr.Sizes) != 50 {
+		t.Fatalf("trace shape = %d/%d", len(tr.Requests), len(tr.Sizes))
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"gen", "-locality", "lukewarm"},
+		{"info"},
+		{"info", "/does/not/exist"},
+		{"hist", "/does/not/exist"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/reo-cache/reo
+
+go 1.22

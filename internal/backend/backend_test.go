@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/hdd"
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+func testStore() *Store {
+	return New(hdd.WD1TB(1 << 30))
+}
+
+func oid(n uint64) osd.ObjectID {
+	return osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID + n}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore()
+	data := []byte("authoritative copy")
+	wcost, err := s.Put(oid(1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wcost <= 0 {
+		t.Fatal("write should cost time")
+	}
+	got, rcost, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q", got)
+	}
+	// A disk access must pay at least seek + rotation (>12ms here).
+	if rcost < 12_000_000 {
+		t.Fatalf("read cost %v implausibly low for a disk", rcost)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := testStore()
+	if _, _, err := s.Get(oid(9)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Size(oid(9)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCopySemantics(t *testing.T) {
+	s := testStore()
+	buf := []byte{1, 2, 3}
+	if _, err := s.Put(oid(1), buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99
+	got, _, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatal("Put aliased caller buffer")
+	}
+	got[1] = 99
+	again, _, _ := s.Get(oid(1))
+	if again[1] != 2 {
+		t.Fatal("Get exposed internal buffer")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	s := testStore()
+	if _, err := s.Put(oid(1), make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(oid(2), make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if s.ObjectCount() != 2 || s.TotalBytes() != 300 {
+		t.Fatalf("count/bytes = %d/%d", s.ObjectCount(), s.TotalBytes())
+	}
+	sz, err := s.Size(oid(2))
+	if err != nil || sz != 200 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	if !s.Has(oid(1)) || s.Has(oid(3)) {
+		t.Fatal("Has wrong")
+	}
+	s.Delete(oid(1))
+	if s.Has(oid(1)) || s.ObjectCount() != 1 {
+		t.Fatal("Delete failed")
+	}
+	s.Delete(oid(1)) // no-op
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := testStore()
+	if _, err := s.Put(oid(1), make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.BytesWritten != 50 || st.Reads != 2 || st.BytesRead != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,612 @@
+// Package cache implements Reo's object-based cache manager — the
+// osd-initiator side of the paper (§V): an object-granularity LRU cache in
+// front of the backend data store, backed by the object storage target.
+//
+// The manager implements the paper's data classification (§IV.C.1): every
+// cached object carries a read-frequency counter, its hotness is
+// H = Freq/Size, and an adaptive threshold Hhot — recomputed periodically so
+// that the hot set's parity consumption just fits the reserved redundancy
+// budget — splits clean objects into hot (Class 2) and cold (Class 3).
+// Dirty objects (write-back data not yet flushed) are Class 1. Class labels
+// are delivered to the target, which applies the per-class redundancy
+// scheme.
+//
+// All device and network work is accounted in virtual time: each request
+// returns a client-observed latency plus any background cost (admission
+// writes, flushes, reclassification) for the caller to charge to the clock.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/backend"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/simclock"
+	"github.com/reo-cache/reo/internal/store"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrNoBackend: a read missed the cache and the object is not in the
+	// backend either.
+	ErrNoBackend = errors.New("cache: object not found in backend")
+)
+
+// HotnessMetric selects how object hotness is computed for the hot/cold
+// split. The zero value is the paper's metric.
+type HotnessMetric int
+
+// Hotness metrics.
+const (
+	// FreqOverSize is the paper's H = Freq/Size (§IV.C.1): smaller
+	// objects get priority because they buy more hit ratio per byte of
+	// parity.
+	FreqOverSize HotnessMetric = iota
+	// FreqOnly ranks purely by access count (ablation baseline).
+	FreqOnly
+)
+
+// Target is the object-storage-target surface the cache manager drives. It
+// is implemented by *store.Store (in-process target) and by
+// transport.RemoteTarget (a target reached over the initiator protocol),
+// mirroring the paper's osd-initiator/osd-target split.
+type Target interface {
+	// Put writes an object under the policy scheme for class.
+	Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error)
+	// WriteRange applies a partial in-place update and marks the object
+	// dirty.
+	WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error)
+	// Get reads an object; degraded reports on-the-fly reconstruction.
+	Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error)
+	// Delete removes an object.
+	Delete(id osd.ObjectID) error
+	// MarkClean clears the dirty flag after a flush.
+	MarkClean(id osd.ObjectID) error
+	// Reclassify re-labels (and if needed re-encodes) an object.
+	Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error)
+	// Policy returns the target's redundancy policy.
+	Policy() policy.Policy
+	// RawCapacity returns total raw flash bytes.
+	RawCapacity() int64
+	// AliveDevices and Devices report array health.
+	AliveDevices() int
+	Devices() int
+}
+
+// The in-process target satisfies the interface.
+var _ Target = (*store.Store)(nil)
+
+// Config parameterises a cache manager.
+type Config struct {
+	// Store is the object storage target (the flash array).
+	Store Target
+	// Backend is the authoritative data store.
+	Backend *backend.Store
+	// NetworkBandwidth is the client link in bytes/sec (10GbE = 1.25e9).
+	// Zero disables transfer cost.
+	NetworkBandwidth float64
+	// NetworkRTT is the per-request round-trip overhead.
+	NetworkRTT time.Duration
+	// RefreshInterval is the number of read requests between adaptive
+	// Hhot recomputations. Zero defaults to 1000.
+	RefreshInterval int
+	// MaxDirtyFraction is the share of cache capacity dirty data may
+	// occupy before a background flush kicks in. Zero defaults to 0.25.
+	MaxDirtyFraction float64
+	// HotnessMetric selects the hot/cold ranking function.
+	HotnessMetric HotnessMetric
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Store == nil {
+		return errors.New("cache: store is required")
+	}
+	if c.Backend == nil {
+		return errors.New("cache: backend is required")
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 1000
+	}
+	if c.MaxDirtyFraction <= 0 {
+		c.MaxDirtyFraction = 0.25
+	}
+	return nil
+}
+
+type entry struct {
+	id    osd.ObjectID
+	size  int64
+	freq  int64
+	dirty bool
+	class osd.Class
+	elem  *list.Element
+}
+
+// hotness ranks an entry under the configured metric.
+func (m *Manager) hotness(e *entry) float64 {
+	if m.cfg.HotnessMetric == FreqOnly {
+		return float64(e.freq)
+	}
+	if e.size == 0 {
+		return math.Inf(1)
+	}
+	return float64(e.freq) / float64(e.size)
+}
+
+// Stats counts cache-manager activity beyond per-request results.
+type Stats struct {
+	Reads          int64
+	Writes         int64
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	Flushes        int64
+	AdmissionSkips int64
+	Reclassified   int64
+	LostObjects    int64
+}
+
+// Result describes one request's outcome.
+type Result struct {
+	// Hit reports whether the read was served from cache.
+	Hit bool
+	// Degraded reports whether serving required on-the-fly
+	// reconstruction.
+	Degraded bool
+	// Bytes is the payload size moved to/from the client.
+	Bytes int64
+	// Data is the object content returned to the client (reads only).
+	Data []byte
+	// Latency is the client-observed virtual time for this request.
+	Latency time.Duration
+	// Background is additional virtual time consumed off the critical
+	// path (admission writes, flushes, reclassification).
+	Background time.Duration
+}
+
+// Manager is the object cache manager. All methods are safe for concurrent
+// use.
+type Manager struct {
+	cfg Config
+
+	mu         sync.Mutex
+	entries    map[osd.ObjectID]*entry
+	lru        *list.List // front = most recent
+	hhot       float64
+	dirtyBytes int64
+	readsSince int
+	stats      Stats
+}
+
+// New returns a cache manager over the given store and backend.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg,
+		entries: make(map[osd.ObjectID]*entry),
+		lru:     list.New(),
+		hhot:    math.Inf(1), // everything cold until the first refresh
+	}, nil
+}
+
+// netCost models the client link: RTT plus payload transfer.
+func (m *Manager) netCost(bytes int64) time.Duration {
+	return m.cfg.NetworkRTT + simclock.TransferTime(bytes, m.cfg.NetworkBandwidth)
+}
+
+// disabledLocked reports whether caching is out of service: a uniform
+// (undifferentiated) protection array with more failures than its parity
+// tolerates is a failed array — "a complete loss of caching services" (§I).
+// Differentiated policies keep serving from whatever survives.
+func (m *Manager) disabledLocked() bool {
+	pol := m.cfg.Store.Policy()
+	if pol.Differentiated() {
+		return m.cfg.Store.AliveDevices() == 0
+	}
+	n := m.cfg.Store.Devices()
+	failures := n - m.cfg.Store.AliveDevices()
+	return failures > pol.SchemeFor(osd.ClassColdClean).Tolerance(n)
+}
+
+// Read serves a client read of the object: from cache on a hit (including
+// degraded reconstruction), from the backend on a miss (with admission into
+// the cache as background work).
+func (m *Manager) Read(id osd.ObjectID) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Reads++
+	m.readsSince++
+
+	var res Result
+	if !m.disabledLocked() {
+		if e, ok := m.entries[id]; ok {
+			data, cost, degraded, err := m.cfg.Store.Get(id)
+			switch {
+			case err == nil:
+				e.freq++
+				m.lru.MoveToFront(e.elem)
+				m.stats.Hits++
+				res = Result{
+					Hit:      true,
+					Degraded: degraded,
+					Bytes:    int64(len(data)),
+					Data:     data,
+					Latency:  cost + m.netCost(int64(len(data))),
+				}
+				res.Background += m.maybeRefreshLocked()
+				return res, nil
+			case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
+				// The object died with a device; fall through to a miss.
+				m.dropEntryLocked(e)
+				m.stats.LostObjects++
+			default:
+				return Result{}, err
+			}
+		}
+	}
+
+	// Miss path: fetch the authoritative copy.
+	data, backendCost, err := m.cfg.Backend.Get(id)
+	if err != nil {
+		if errors.Is(err, backend.ErrNotFound) {
+			return Result{}, fmt.Errorf("%w: %v", ErrNoBackend, id)
+		}
+		return Result{}, err
+	}
+	m.stats.Misses++
+	res = Result{
+		Bytes:   int64(len(data)),
+		Data:    data,
+		Latency: backendCost + m.netCost(int64(len(data))),
+	}
+	if !m.disabledLocked() {
+		res.Background += m.admitLocked(id, data, false)
+	}
+	res.Background += m.maybeRefreshLocked()
+	return res, nil
+}
+
+// Write absorbs a client write. With the cache in service this is
+// write-back: the update is stored dirty (Class 1) in flash and
+// acknowledged; flushing to the backend happens in the background. With the
+// cache out of service the write goes straight to the backend.
+func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Writes++
+	if m.disabledLocked() {
+		cost, err := m.cfg.Backend.Put(id, data)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Bytes:   int64(len(data)),
+			Latency: cost + m.netCost(int64(len(data))),
+		}, nil
+	}
+	cost := m.admitLocked(id, data, true)
+	if _, admitted := m.entries[id]; !admitted {
+		// The cache could not absorb the update (e.g. object larger than
+		// the array). Never acknowledge a write that is stored nowhere:
+		// fall back to a synchronous write-through to the backend.
+		bcost, err := m.cfg.Backend.Put(id, data)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Bytes:      int64(len(data)),
+			Latency:    bcost + m.netCost(int64(len(data))),
+			Background: cost,
+		}, nil
+	}
+	res := Result{
+		Hit:     true,
+		Bytes:   int64(len(data)),
+		Latency: cost + m.netCost(int64(len(data))),
+	}
+	res.Background += m.maybeFlushLocked()
+	return res, nil
+}
+
+// admitLocked inserts (or overwrites) an object in the cache, evicting as
+// needed, and returns the virtual-time cost. Admission failures (object too
+// big, redundancy exhausted with nothing evictable) skip caching silently —
+// the client was already served.
+func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Duration {
+	var total time.Duration
+	if prev, ok := m.entries[id]; ok {
+		if prev.dirty && !dirty {
+			// Never downgrade a dirty object by overwriting it clean
+			// without a flush.
+			total += m.flushEntryLocked(prev)
+		}
+		m.dropEntryLocked(prev)
+		_ = m.cfg.Store.Delete(id) // ignore not-found
+	}
+
+	class := osd.ClassDirty
+	if !dirty {
+		h := m.hotness(&entry{size: int64(len(data)), freq: 1})
+		if h >= m.hhot {
+			class = osd.ClassHotClean
+		} else {
+			class = osd.ClassColdClean
+		}
+	}
+
+	for {
+		cost, err := m.cfg.Store.Put(id, data, class, dirty)
+		total += cost
+		switch {
+		case err == nil:
+			e := &entry{id: id, size: int64(len(data)), freq: 1, dirty: dirty, class: class}
+			e.elem = m.lru.PushFront(e)
+			m.entries[id] = e
+			if dirty {
+				m.dirtyBytes += e.size
+			}
+			return total
+		case errors.Is(err, store.ErrRedundancyFull) && class == osd.ClassHotClean:
+			// The reserved redundancy space is full (sense 0x67):
+			// degrade to cold-clean and retry.
+			class = osd.ClassColdClean
+		case errors.Is(err, store.ErrCacheFull):
+			c, ok := m.evictOneLocked()
+			total += c
+			if !ok {
+				m.stats.AdmissionSkips++
+				return total
+			}
+		default:
+			// Includes ErrRedundancyFull for dirty (cannot happen: dirty
+			// bypasses budget) and hard store errors: skip admission.
+			m.stats.AdmissionSkips++
+			return total
+		}
+	}
+}
+
+// evictOneLocked removes the least recently used object, flushing it first
+// if dirty. It reports false when nothing is evictable.
+func (m *Manager) evictOneLocked() (time.Duration, bool) {
+	back := m.lru.Back()
+	if back == nil {
+		return 0, false
+	}
+	e, ok := back.Value.(*entry)
+	if !ok {
+		return 0, false
+	}
+	var total time.Duration
+	if e.dirty {
+		total += m.flushEntryLocked(e)
+	}
+	m.dropEntryLocked(e)
+	_ = m.cfg.Store.Delete(e.id)
+	m.stats.Evictions++
+	return total, true
+}
+
+// flushEntryLocked writes a dirty object back to the backend and reclasses
+// it as clean in the store.
+func (m *Manager) flushEntryLocked(e *entry) time.Duration {
+	data, readCost, _, err := m.cfg.Store.Get(e.id)
+	total := readCost
+	if err != nil {
+		// The dirty copy is unreadable (device loss beyond redundancy):
+		// the update is gone — exactly the catastrophic case the paper
+		// protects against. Nothing to flush.
+		e.dirty = false
+		m.dirtyBytes -= e.size
+		return total
+	}
+	// The backend write itself is asynchronous to the cache server (it
+	// runs on the storage server's disk, overlapped with request
+	// service), so it is not charged to the cache's virtual clock; only
+	// the flash read above and the re-encode below consume cache-side
+	// time.
+	if _, err := m.cfg.Backend.Put(e.id, data); err != nil {
+		return total
+	}
+	_ = m.cfg.Store.MarkClean(e.id)
+	e.dirty = false
+	m.dirtyBytes -= e.size
+	m.stats.Flushes++
+	// Re-label (and re-encode) the now-clean object per its hotness.
+	class := osd.ClassColdClean
+	if m.hotness(e) >= m.hhot {
+		class = osd.ClassHotClean
+	}
+	if cost, err := m.cfg.Store.Reclassify(e.id, class); err == nil {
+		e.class = class
+		total += cost
+	}
+	return total
+}
+
+// maybeFlushLocked flushes oldest-first dirty objects whenever dirty bytes
+// exceed the configured fraction of cache capacity, stopping at half the
+// threshold (hysteresis).
+func (m *Manager) maybeFlushLocked() time.Duration {
+	capacity := m.cfg.Store.RawCapacity()
+	limit := int64(m.cfg.MaxDirtyFraction * float64(capacity))
+	if limit <= 0 || m.dirtyBytes <= limit {
+		return 0
+	}
+	target := limit / 2
+	var total time.Duration
+	for elem := m.lru.Back(); elem != nil && m.dirtyBytes > target; {
+		prev := elem.Prev()
+		if e, ok := elem.Value.(*entry); ok && e.dirty {
+			total += m.flushEntryLocked(e)
+		}
+		elem = prev
+	}
+	return total
+}
+
+// FlushAll writes every dirty object back to the backend (shutdown or
+// barrier semantics) and returns the virtual-time cost.
+func (m *Manager) FlushAll() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total time.Duration
+	for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
+		if e, ok := elem.Value.(*entry); ok && e.dirty {
+			total += m.flushEntryLocked(e)
+		}
+	}
+	return total
+}
+
+func (m *Manager) dropEntryLocked(e *entry) {
+	if e.dirty {
+		m.dirtyBytes -= e.size
+	}
+	m.lru.Remove(e.elem)
+	delete(m.entries, e.id)
+}
+
+// maybeRefreshLocked recomputes the adaptive hot threshold every
+// RefreshInterval reads and applies class changes.
+func (m *Manager) maybeRefreshLocked() time.Duration {
+	if m.readsSince < m.cfg.RefreshInterval {
+		return 0
+	}
+	m.readsSince = 0
+	return m.refreshLocked()
+}
+
+// RefreshClassification recomputes Hhot immediately (exposed for tests and
+// tools) and returns the reclassification cost.
+func (m *Manager) RefreshClassification() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshLocked()
+}
+
+// refreshLocked implements §IV.C.1: sort clean objects by H descending,
+// presumably admit them to the hot set until the redundancy their parity
+// would occupy reaches the reserved budget, and set Hhot to the H value of
+// the last admitted object. Non-differentiated policies have nothing to
+// differentiate: the threshold stays infinite and no re-encoding happens.
+func (m *Manager) refreshLocked() time.Duration {
+	pol := m.cfg.Store.Policy()
+	reo, ok := pol.(policy.Reo)
+	if !ok || !pol.Differentiated() {
+		return 0
+	}
+	alive := m.cfg.Store.AliveDevices()
+	if alive == 0 {
+		return 0
+	}
+	scheme := pol.SchemeFor(osd.ClassHotClean)
+	overhead := scheme.Overhead(alive)
+	if overhead <= 0 || overhead >= 1 {
+		return 0
+	}
+	budget := reo.ParityBudget * float64(m.cfg.Store.RawCapacity())
+
+	clean := make([]*entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		if e.dirty {
+			// Dirty objects are Class 1 and protected unconditionally;
+			// the reserved budget covers only the hot clean set.
+			continue
+		}
+		clean = append(clean, e)
+	}
+	sort.Slice(clean, func(i, j int) bool { return m.hotness(clean[i]) > m.hotness(clean[j]) })
+
+	spent := 0.0
+	hhot := math.Inf(1)
+	for _, e := range clean {
+		need := float64(e.size) * overhead / (1 - overhead)
+		if spent+need > budget {
+			break
+		}
+		spent += need
+		hhot = m.hotness(e)
+	}
+	m.hhot = hhot
+
+	var total time.Duration
+	for _, e := range clean {
+		want := osd.ClassColdClean
+		if m.hotness(e) >= m.hhot {
+			want = osd.ClassHotClean
+		}
+		if want == e.class {
+			continue
+		}
+		cost, err := m.cfg.Store.Reclassify(e.id, want)
+		if err != nil {
+			if errors.Is(err, store.ErrRedundancyFull) || errors.Is(err, store.ErrCacheFull) {
+				continue
+			}
+			if errors.Is(err, store.ErrCorrupted) || errors.Is(err, store.ErrNotFound) {
+				m.dropEntryLocked(e)
+				m.stats.LostObjects++
+				continue
+			}
+			continue
+		}
+		e.class = want
+		m.stats.Reclassified++
+		total += cost
+	}
+	return total
+}
+
+// Contains reports whether the object is currently cached.
+func (m *Manager) Contains(id osd.ObjectID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[id]
+	return ok
+}
+
+// Len returns the number of cached objects.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// DirtyBytes returns the bytes of unflushed dirty data.
+func (m *Manager) DirtyBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirtyBytes
+}
+
+// HotThreshold returns the current adaptive Hhot value.
+func (m *Manager) HotThreshold() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hhot
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Disabled reports whether caching is currently out of service (failed
+// uniform array).
+func (m *Manager) Disabled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.disabledLocked()
+}

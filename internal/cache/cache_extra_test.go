@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+)
+
+// These tests cover the durability and classification corners found by the
+// randomised integration tests: write-through fallback, replica extension
+// after spare cycling, and the hotness-metric ablation knob.
+
+func TestWriteThroughWhenAdmissionImpossible(t *testing.T) {
+	// Cache too small for the object: the write must be acknowledged from
+	// the backend, never dropped.
+	f := newFixture(t, policy.Reo{ParityBudget: 0.2}, 0.2, 16<<10)
+	data := randBytes(1, 500_000) // 500KB ≫ 80KiB raw
+	res, err := f.cache.Write(oid(1), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("un-admittable write must not claim cache absorption")
+	}
+	got, _, err := f.backend.Get(oid(1))
+	if err != nil {
+		t.Fatalf("write-through did not reach backend: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("write-through corrupted data")
+	}
+	if f.cache.DirtyBytes() != 0 {
+		t.Fatal("nothing should be dirty after write-through")
+	}
+}
+
+func TestDirtySurvivesSpareCyclingAcrossOriginalReplicaSet(t *testing.T) {
+	// Regression for the replica-extension bug: write dirty data while a
+	// device is down, then repair that device, recover, and fail every
+	// member of the ORIGINAL replica set. The update must survive on the
+	// repaired device.
+	f := newFixture(t, policy.Reo{ParityBudget: 0.4}, 0.4, 1<<20)
+	if err := f.store.FailDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(2, 20_000)
+	if _, err := f.cache.Write(oid(1), data); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas live on devices 1-4 only. Repair slot 0 and recover:
+	// replicas must extend onto the spare.
+	if _, err := f.store.InsertSpare(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.store.RecoverAll(); err != nil {
+		t.Fatal(err)
+	}
+	for dev := 1; dev <= 4; dev++ {
+		if err := f.store.FailDevice(dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := f.cache.Read(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatal("dirty object lost: replicas were not extended onto the spare")
+	}
+	if !bytes.Equal(res.Data, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestHotnessMetricsDisagreeAsDesigned(t *testing.T) {
+	// A 120KB object read twice (high Freq, low Freq/Size) vs a 10KB
+	// object read once (low Freq, high Freq/Size). The redundancy budget
+	// (0.016 × 5MiB ≈ 84KB) admits exactly one of them: the big object
+	// needs ~80KB of parity, the small one ~6.7KB — but big-then-small
+	// would exceed the budget. FreqOnly picks the big object; the
+	// paper's Freq/Size picks the small one (more hit ratio per parity
+	// byte).
+	classify := func(metric HotnessMetric) (big, small osd.Class) {
+		f := newFixture(t, policy.Reo{ParityBudget: 0.016}, 0.016, 1<<20)
+		f.cache.cfg.HotnessMetric = metric
+		f.seed(t, 1, 120_000)
+		f.seed(t, 2, 10_000)
+		for i := 0; i < 2; i++ {
+			if _, err := f.cache.Read(oid(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := f.cache.Read(oid(2)); err != nil {
+			t.Fatal(err)
+		}
+		f.cache.RefreshClassification()
+		info1, err := f.store.Info(oid(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		info2, err := f.store.Info(oid(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info1.Class, info2.Class
+	}
+	big, small := classify(FreqOnly)
+	if big != osd.ClassHotClean || small != osd.ClassColdClean {
+		t.Fatalf("freq-only: big=%v small=%v, want hot/cold", big, small)
+	}
+	big, small = classify(FreqOverSize)
+	if big != osd.ClassColdClean || small != osd.ClassHotClean {
+		t.Fatalf("freq/size: big=%v small=%v, want cold/hot", big, small)
+	}
+}
+
+func TestHotSetSizeGrowsWithBudget(t *testing.T) {
+	countHot := func(budget float64) int {
+		f := newFixture(t, policy.Reo{ParityBudget: budget}, budget, 2<<20)
+		for n := uint64(1); n <= 20; n++ {
+			f.seed(t, n, 30_000)
+			for i := 0; i <= int(n); i++ { // distinct frequencies
+				if _, err := f.cache.Read(oid(n)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		f.cache.RefreshClassification()
+		hot := 0
+		for n := uint64(1); n <= 20; n++ {
+			if info, err := f.store.Info(oid(n)); err == nil && info.Class == osd.ClassHotClean {
+				hot++
+			}
+		}
+		return hot
+	}
+	// 20 objects × 30KB × 2-parity-of-5 need ≈400KB of parity; a 1%
+	// budget (≈100KB) admits only a few, 40% (≈4MB) admits them all.
+	small := countHot(0.01)
+	large := countHot(0.40)
+	if large <= small {
+		t.Fatalf("hot set did not grow with budget: %d (1%%) vs %d (40%%)", small, large)
+	}
+}
+
+func TestDegradedHitCountedInStats(t *testing.T) {
+	f := newFixture(t, policy.Uniform{ParityChunks: 2}, 0, 2<<20)
+	f.seed(t, 1, 30_000)
+	if _, err := f.cache.Read(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.store.FailDevice(0)
+	res, err := f.cache.Read(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit || !res.Degraded {
+		t.Fatalf("expected degraded hit, got %+v", res)
+	}
+}

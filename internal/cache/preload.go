@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+// Preload bulk-admits objects from the backend into the cache without
+// client requests — the Bonfire-style proactive warm-up the paper's related
+// work (§III) identifies as complementary to Reo: "by proactively preloading
+// the warm data into the cache, the warm-up process can be accelerated."
+// Objects are fetched in the given order (most important first) until the
+// cache stops admitting; already-cached objects are skipped.
+//
+// It returns the number of objects admitted and the total virtual-time
+// cost, which the caller should charge as background work.
+func (m *Manager) Preload(ids []osd.ObjectID) (admitted int, cost time.Duration, err error) {
+	for _, id := range ids {
+		m.mu.Lock()
+		if m.disabledLocked() {
+			m.mu.Unlock()
+			return admitted, cost, nil
+		}
+		if _, ok := m.entries[id]; ok {
+			m.mu.Unlock()
+			continue
+		}
+		data, fetchCost, err := m.cfg.Backend.Get(id)
+		if err != nil {
+			m.mu.Unlock()
+			// Missing objects are skipped, not fatal: warm-up hints can
+			// be stale.
+			continue
+		}
+		cost += fetchCost
+		putCost, ok := m.admitNoEvictLocked(id, data)
+		cost += putCost
+		m.mu.Unlock()
+		if !ok {
+			// The cache is full; preload never evicts (that would churn
+			// the objects just loaded). Stop here.
+			return admitted, cost, nil
+		}
+		admitted++
+	}
+	return admitted, cost, nil
+}
+
+// admitNoEvictLocked inserts a clean object only if it fits without
+// evicting anything. It reports whether the object was admitted.
+func (m *Manager) admitNoEvictLocked(id osd.ObjectID, data []byte) (time.Duration, bool) {
+	class := osd.ClassColdClean
+	if m.hotness(&entry{size: int64(len(data)), freq: 1}) >= m.hhot {
+		class = osd.ClassHotClean
+	}
+	var total time.Duration
+	for {
+		cost, err := m.cfg.Store.Put(id, data, class, false)
+		total += cost
+		switch {
+		case err == nil:
+			e := &entry{id: id, size: int64(len(data)), freq: 1, class: class}
+			e.elem = m.lru.PushFront(e)
+			m.entries[id] = e
+			return total, true
+		case class == osd.ClassHotClean:
+			// Redundancy space or capacity exhausted: retry cold once.
+			class = osd.ClassColdClean
+		default:
+			return total, false
+		}
+	}
+}

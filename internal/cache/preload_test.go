@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+)
+
+func TestPreloadWarmsCache(t *testing.T) {
+	f := newFixture(t, policy.Reo{ParityBudget: 0.2}, 0.2, 4<<20)
+	var ids []osd.ObjectID
+	for n := uint64(1); n <= 10; n++ {
+		f.seed(t, n, 20_000)
+		ids = append(ids, oid(n))
+	}
+	admitted, cost, err := f.cache.Preload(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted != 10 {
+		t.Fatalf("admitted = %d, want 10", admitted)
+	}
+	if cost <= 0 {
+		t.Fatal("preload should cost time")
+	}
+	// Every preloaded object now hits.
+	for _, id := range ids {
+		res, err := f.cache.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Hit {
+			t.Fatalf("preloaded object %v missed", id)
+		}
+	}
+}
+
+func TestPreloadSkipsCachedAndMissing(t *testing.T) {
+	f := newFixture(t, policy.Uniform{ParityChunks: 1}, 0, 4<<20)
+	f.seed(t, 1, 5_000)
+	if _, err := f.cache.Read(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	admitted, _, err := f.cache.Preload([]osd.ObjectID{oid(1), oid(999)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted != 0 {
+		t.Fatalf("admitted = %d, want 0 (cached + missing)", admitted)
+	}
+}
+
+func TestPreloadStopsWhenFull(t *testing.T) {
+	// 5 × 64KiB raw: ~8 objects of 40KB fit under 0-parity.
+	f := newFixture(t, policy.Uniform{ParityChunks: 0}, 0, 64<<10)
+	var ids []osd.ObjectID
+	for n := uint64(1); n <= 20; n++ {
+		f.seed(t, n, 40_000)
+		ids = append(ids, oid(n))
+	}
+	admitted, _, err := f.cache.Preload(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted == 0 || admitted >= 20 {
+		t.Fatalf("admitted = %d, want partial fill", admitted)
+	}
+	// Preload must not evict what it just loaded.
+	if !f.cache.Contains(ids[0]) {
+		t.Fatal("preload churned its own admissions")
+	}
+}
+
+func TestPreloadDisabledCache(t *testing.T) {
+	f := newFixture(t, policy.Uniform{ParityChunks: 0}, 0, 4<<20)
+	_ = f.store.FailDevice(0)
+	f.seed(t, 1, 1_000)
+	admitted, _, err := f.cache.Preload([]osd.ObjectID{oid(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted != 0 {
+		t.Fatal("disabled cache admitted a preload")
+	}
+}

@@ -1,0 +1,359 @@
+// Package erasure implements the Reed–Solomon erasure code used by Reo's
+// stripe manager (paper §II.B, §IV.C.3). A codec for parameters (m, k)
+// slices an object into m equal-size data chunks and produces k parity
+// chunks; the original data can be recovered from any m of the n = m+k
+// fragments.
+//
+// The generator matrix is the systematic form of a Vandermonde matrix: the
+// top m rows are the identity (data chunks are stored verbatim) and the
+// bottom k rows encode parity, so reads of healthy data never pay a decode.
+//
+// The package also implements the paper's two parity-update strategies for
+// in-place chunk updates — direct parity-updating (re-read the sibling data
+// chunks and recompute) and delta parity-updating (read old data + old
+// parity, apply the delta) — plus the least-disk-reads chooser the paper
+// describes ("we choose the encoding method that incurs the least disk
+// reads").
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/reo-cache/reo/internal/gf256"
+)
+
+// Limits on code parameters. n = m+k must fit in GF(2^8) evaluation points.
+const (
+	MaxDataChunks   = 128
+	MaxParityChunks = 64
+)
+
+// Errors returned by the codec.
+var (
+	ErrTooFewChunks    = errors.New("erasure: not enough surviving chunks to reconstruct")
+	ErrChunkSizeUneven = errors.New("erasure: chunks have differing sizes")
+	ErrShapeMismatch   = errors.New("erasure: wrong number of chunks for codec")
+)
+
+// Codec encodes m data chunks into k parity chunks and reconstructs missing
+// chunks from any m survivors. A Codec is immutable and safe for concurrent
+// use.
+type Codec struct {
+	m, k int
+	// gen is the (m+k)×m systematic generator matrix: rows 0..m-1 are the
+	// identity, rows m..m+k-1 are parity coefficients.
+	gen *gf256.Matrix
+}
+
+// New returns a codec for m data chunks and k parity chunks.
+func New(m, k int) (*Codec, error) {
+	if m <= 0 || m > MaxDataChunks {
+		return nil, fmt.Errorf("erasure: data chunks m=%d out of range [1,%d]", m, MaxDataChunks)
+	}
+	if k < 0 || k > MaxParityChunks {
+		return nil, fmt.Errorf("erasure: parity chunks k=%d out of range [0,%d]", k, MaxParityChunks)
+	}
+	if m+k > 255 {
+		return nil, fmt.Errorf("erasure: m+k=%d exceeds field limit 255", m+k)
+	}
+	gen, err := systematicVandermonde(m, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{m: m, k: k, gen: gen}, nil
+}
+
+// systematicVandermonde builds an (m+k)×m generator whose top m rows are the
+// identity. Starting from a full Vandermonde matrix V (whose every m×m
+// submatrix is invertible), we right-multiply by the inverse of its top m×m
+// block; this preserves the any-m-rows-invertible property while making the
+// code systematic.
+func systematicVandermonde(m, k int) (*gf256.Matrix, error) {
+	v := gf256.Vandermonde(m+k, m)
+	top := v.SubMatrix(0, m, 0, m)
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: vandermonde top block: %w", err)
+	}
+	gen, err := v.Mul(topInv)
+	if err != nil {
+		return nil, err
+	}
+	return gen, nil
+}
+
+// DataChunks returns m.
+func (c *Codec) DataChunks() int { return c.m }
+
+// ParityChunks returns k.
+func (c *Codec) ParityChunks() int { return c.k }
+
+// TotalChunks returns m+k.
+func (c *Codec) TotalChunks() int { return c.m + c.k }
+
+// Split slices data into m equal-size chunks, zero-padding the final chunk.
+// The returned chunks are freshly allocated and do not alias data.
+func (c *Codec) Split(data []byte) [][]byte {
+	chunkSize := (len(data) + c.m - 1) / c.m
+	if chunkSize == 0 {
+		chunkSize = 1
+	}
+	chunks := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		chunks[i] = make([]byte, chunkSize)
+		lo := i * chunkSize
+		if lo < len(data) {
+			hi := lo + chunkSize
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(chunks[i], data[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// Join concatenates data chunks and trims to size bytes, the inverse of
+// Split.
+func (c *Codec) Join(chunks [][]byte, size int) ([]byte, error) {
+	if len(chunks) != c.m {
+		return nil, ErrShapeMismatch
+	}
+	out := make([]byte, 0, size)
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	if size > len(out) {
+		return nil, fmt.Errorf("erasure: join size %d exceeds available %d bytes", size, len(out))
+	}
+	return out[:size], nil
+}
+
+// Encode computes the k parity chunks for the given m data chunks. All data
+// chunks must have equal length. The returned parity chunks have the same
+// length.
+func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.m {
+		return nil, ErrShapeMismatch
+	}
+	size, err := uniformSize(data)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, c.k)
+	for p := 0; p < c.k; p++ {
+		parity[p] = make([]byte, size)
+		row := c.gen.Row(c.m + p)
+		for d := 0; d < c.m; d++ {
+			gf256.MulAddSlice(row[d], data[d], parity[p])
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct restores the missing fragments in place. fragments must have
+// length m+k; present fragments are non-nil and equal-size, missing ones are
+// nil. Indices 0..m-1 are data chunks; m..m+k-1 are parity chunks. It
+// returns ErrTooFewChunks if fewer than m fragments survive.
+func (c *Codec) Reconstruct(fragments [][]byte) error {
+	if len(fragments) != c.m+c.k {
+		return ErrShapeMismatch
+	}
+	present := make([]int, 0, c.m)
+	var missing []int
+	for i, f := range fragments {
+		if f != nil {
+			present = append(present, i)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.m {
+		return ErrTooFewChunks
+	}
+	size, err := uniformSize(nonNil(fragments))
+	if err != nil {
+		return err
+	}
+
+	// Build the m×m decode matrix from the generator rows of the first m
+	// surviving fragments, invert it, and recover the data chunks.
+	use := present[:c.m]
+	sub := gf256.NewMatrix(c.m, c.m)
+	for r, idx := range use {
+		copy(sub.Row(r), c.gen.Row(idx))
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix: %w", err)
+	}
+
+	// Recover missing data chunks: data[d] = sum_j inv[d][j] * frag[use[j]].
+	recovered := make(map[int][]byte)
+	dataChunk := func(d int) []byte {
+		if fragments[d] != nil {
+			return fragments[d]
+		}
+		return recovered[d]
+	}
+	for _, miss := range missing {
+		if miss >= c.m {
+			continue // parity handled after data
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.m; j++ {
+			gf256.MulAddSlice(inv.At(miss, j), fragments[use[j]], out)
+		}
+		recovered[miss] = out
+	}
+	for d, buf := range recovered {
+		fragments[d] = buf
+	}
+	// Recompute missing parity chunks from the (now complete) data chunks.
+	for _, miss := range missing {
+		if miss < c.m {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.gen.Row(miss)
+		for d := 0; d < c.m; d++ {
+			gf256.MulAddSlice(row[d], dataChunk(d), out)
+		}
+		fragments[miss] = out
+	}
+	return nil
+}
+
+// Verify recomputes parity from the data chunks and reports whether it
+// matches the stored parity chunks. fragments must be complete (no nils).
+func (c *Codec) Verify(fragments [][]byte) (bool, error) {
+	if len(fragments) != c.m+c.k {
+		return false, ErrShapeMismatch
+	}
+	for _, f := range fragments {
+		if f == nil {
+			return false, errors.New("erasure: verify requires all fragments")
+		}
+	}
+	parity, err := c.Encode(fragments[:c.m])
+	if err != nil {
+		return false, err
+	}
+	for p := 0; p < c.k; p++ {
+		stored := fragments[c.m+p]
+		if len(stored) != len(parity[p]) {
+			return false, nil
+		}
+		for i := range stored {
+			if stored[i] != parity[p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// UpdateStrategy identifies how parity is refreshed after a data-chunk
+// update (paper §II.B).
+type UpdateStrategy int
+
+const (
+	// DirectParityUpdate re-reads all sibling data chunks and recomputes
+	// parity from scratch. Costs m-1 sibling reads.
+	DirectParityUpdate UpdateStrategy = iota + 1
+	// DeltaParityUpdate reads the old data chunk and the old parity chunks
+	// and applies the delta. Costs 1 + k reads.
+	DeltaParityUpdate
+)
+
+// String returns the strategy name.
+func (s UpdateStrategy) String() string {
+	switch s {
+	case DirectParityUpdate:
+		return "direct"
+	case DeltaParityUpdate:
+		return "delta"
+	default:
+		return fmt.Sprintf("UpdateStrategy(%d)", int(s))
+	}
+}
+
+// ChooseUpdateStrategy returns the strategy with the fewest disk reads for
+// this codec, per the paper: direct updating reads the m-1 unchanged data
+// chunks; delta updating reads the old data chunk plus the k old parity
+// chunks. Ties favour delta (it also writes less on wide stripes).
+func (c *Codec) ChooseUpdateStrategy() UpdateStrategy {
+	directReads := c.m - 1
+	deltaReads := 1 + c.k
+	if directReads < deltaReads {
+		return DirectParityUpdate
+	}
+	return DeltaParityUpdate
+}
+
+// UpdateReadCost returns the number of chunk reads the given strategy incurs
+// for a single-chunk update under this codec.
+func (c *Codec) UpdateReadCost(s UpdateStrategy) int {
+	if s == DirectParityUpdate {
+		return c.m - 1
+	}
+	return 1 + c.k
+}
+
+// UpdateParityDelta computes new parity chunks given the old and new content
+// of data chunk dataIdx and the old parity chunks (delta parity-updating):
+//
+//	newParity[p] = oldParity[p] + gen[m+p][dataIdx] * (oldData + newData)
+//
+// It returns freshly allocated parity chunks and does not modify its inputs.
+func (c *Codec) UpdateParityDelta(dataIdx int, oldData, newData []byte, oldParity [][]byte) ([][]byte, error) {
+	if dataIdx < 0 || dataIdx >= c.m {
+		return nil, fmt.Errorf("erasure: data index %d out of range [0,%d)", dataIdx, c.m)
+	}
+	if len(oldParity) != c.k {
+		return nil, ErrShapeMismatch
+	}
+	if len(oldData) != len(newData) {
+		return nil, ErrChunkSizeUneven
+	}
+	delta := make([]byte, len(oldData))
+	copy(delta, oldData)
+	gf256.XorSlice(newData, delta)
+	out := make([][]byte, c.k)
+	for p := 0; p < c.k; p++ {
+		if len(oldParity[p]) != len(delta) {
+			return nil, ErrChunkSizeUneven
+		}
+		out[p] = make([]byte, len(oldParity[p]))
+		copy(out[p], oldParity[p])
+		gf256.MulAddSlice(c.gen.At(c.m+p, dataIdx), delta, out[p])
+	}
+	return out, nil
+}
+
+func uniformSize(chunks [][]byte) (int, error) {
+	if len(chunks) == 0 {
+		return 0, ErrShapeMismatch
+	}
+	size := len(chunks[0])
+	for _, ch := range chunks[1:] {
+		if len(ch) != size {
+			return 0, ErrChunkSizeUneven
+		}
+	}
+	return size, nil
+}
+
+func nonNil(chunks [][]byte) [][]byte {
+	out := make([][]byte, 0, len(chunks))
+	for _, ch := range chunks {
+		if ch != nil {
+			out = append(out, ch)
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package flash models the array of flash SSDs that backs Reo's object
+// cache. Each Device stores chunk payloads in memory, charges virtual-time
+// costs for reads and writes from a datasheet-style Spec, tracks wear and IO
+// statistics, and supports the failure events the paper's evaluation
+// exercises: taking a device offline ("shootdown") and inserting a blank
+// spare to trigger reconstruction.
+//
+// Devices return costs instead of touching a clock directly so that callers
+// can combine concurrent chunk operations (a stripe read fans out across
+// devices) into a single critical-path charge.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/simclock"
+)
+
+// State describes a device's availability.
+type State int
+
+// Device states.
+const (
+	StateHealthy State = iota + 1
+	StateFailed        // device has failed; contents are inaccessible
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Errors reported by devices.
+var (
+	ErrDeviceFailed  = errors.New("flash: device has failed")
+	ErrChunkNotFound = errors.New("flash: chunk not found")
+	ErrDeviceFull    = errors.New("flash: device is full")
+)
+
+// ChunkAddr identifies a chunk on a device. Addresses are assigned by the
+// stripe manager and are unique per device.
+type ChunkAddr uint64
+
+// Spec holds the performance and capacity parameters of a flash device.
+type Spec struct {
+	// CapacityBytes is the usable capacity of the device.
+	CapacityBytes int64
+	// ReadBandwidth and WriteBandwidth are sustained rates in bytes/sec.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// ReadLatency and WriteLatency are fixed per-operation overheads.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+}
+
+// Intel540s returns a spec modelled on the Intel 540s 120GB SATA SSD used in
+// the paper's cache server (5-device array). Capacity is set by the caller
+// per experiment scale.
+func Intel540s(capacity int64) Spec {
+	return Spec{
+		CapacityBytes:  capacity,
+		ReadBandwidth:  560e6,
+		WriteBandwidth: 480e6,
+		ReadLatency:    60 * time.Microsecond,
+		WriteLatency:   70 * time.Microsecond,
+	}
+}
+
+// Stats aggregates a device's IO counters since it was created or replaced.
+type Stats struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Device is a simulated flash SSD. All methods are safe for concurrent use.
+type Device struct {
+	mu    sync.Mutex
+	spec  Spec
+	state State
+	data  map[ChunkAddr][]byte
+	used  int64
+	stats Stats
+	// generation counts how many physical devices have occupied this slot;
+	// it increments on Replace so stale chunk references can be detected.
+	generation int
+}
+
+// NewDevice returns a healthy, empty device with the given spec.
+func NewDevice(spec Spec) *Device {
+	return &Device{
+		spec:  spec,
+		state: StateHealthy,
+		data:  make(map[ChunkAddr][]byte),
+	}
+}
+
+// Spec returns the device's parameters.
+func (d *Device) Spec() Spec {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec
+}
+
+// State returns the device's availability.
+func (d *Device) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Generation returns the device slot's replacement count.
+func (d *Device) Generation() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.generation
+}
+
+// Stats returns a copy of the device's IO counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Used returns the number of bytes currently stored.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Free returns the remaining capacity in bytes.
+func (d *Device) Free() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.CapacityBytes - d.used
+}
+
+// WearCycles estimates consumed program/erase cycles as full-device writes:
+// total bytes written divided by capacity. The paper motivates Reo with
+// flash's 1,000–5,000 P/E cycle budget; this counter lets experiments report
+// write amplification per policy.
+func (d *Device) WearCycles() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.spec.CapacityBytes == 0 {
+		return 0
+	}
+	return float64(d.stats.BytesWritten) / float64(d.spec.CapacityBytes)
+}
+
+// Write stores a copy of data at addr and returns the virtual-time cost.
+// Overwriting an existing chunk releases its old space first.
+func (d *Device) Write(addr ChunkAddr, data []byte) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return 0, ErrDeviceFailed
+	}
+	old, exists := d.data[addr]
+	newUsed := d.used + int64(len(data))
+	if exists {
+		newUsed -= int64(len(old))
+	}
+	if newUsed > d.spec.CapacityBytes {
+		return 0, ErrDeviceFull
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.data[addr] = buf
+	d.used = newUsed
+	d.stats.WriteOps++
+	d.stats.BytesWritten += int64(len(data))
+	return d.spec.WriteLatency + simclock.TransferTime(int64(len(data)), d.spec.WriteBandwidth), nil
+}
+
+// Read returns a copy of the chunk at addr and the virtual-time cost.
+func (d *Device) Read(addr ChunkAddr) ([]byte, time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return nil, 0, ErrDeviceFailed
+	}
+	data, ok := d.data[addr]
+	if !ok {
+		return nil, 0, ErrChunkNotFound
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	d.stats.ReadOps++
+	d.stats.BytesRead += int64(len(data))
+	return out, d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth), nil
+}
+
+// Has reports whether the chunk is present and readable, without charging
+// cost or touching IO counters. Failed devices hold nothing.
+func (d *Device) Has(addr ChunkAddr) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return false
+	}
+	_, ok := d.data[addr]
+	return ok
+}
+
+// Delete removes the chunk at addr, freeing its space. Deleting a missing
+// chunk is a no-op; deletes on failed devices fail.
+func (d *Device) Delete(addr ChunkAddr) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return ErrDeviceFailed
+	}
+	if old, ok := d.data[addr]; ok {
+		d.used -= int64(len(old))
+		delete(d.data, addr)
+	}
+	return nil
+}
+
+// Corrupt flips one bit of the stored chunk at the given byte offset,
+// emulating the silent partial data loss flash wear causes (the paper's §I:
+// "from partial data loss to a complete device failure"). It reports whether
+// anything was corrupted (the chunk exists and the offset is in range).
+func (d *Device) Corrupt(addr ChunkAddr, offset int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return false
+	}
+	data, ok := d.data[addr]
+	if !ok || offset < 0 || offset >= len(data) {
+		return false
+	}
+	data[offset] ^= 0x01
+	return true
+}
+
+// Fail takes the device offline and discards its contents, emulating an
+// unrecoverable device failure. Failing an already-failed device is a no-op.
+func (d *Device) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == StateFailed {
+		return
+	}
+	d.state = StateFailed
+	d.data = make(map[ChunkAddr][]byte)
+	d.used = 0
+}
+
+// Replace installs a blank spare in this slot: the device becomes healthy,
+// empty, with fresh counters and an incremented generation.
+func (d *Device) Replace() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.state = StateHealthy
+	d.data = make(map[ChunkAddr][]byte)
+	d.used = 0
+	d.stats = Stats{}
+	d.generation++
+}
+
+// Array is a fixed-width shelf of flash devices. The slot order is
+// significant: the stripe manager maps chunk slots to device indices.
+type Array struct {
+	devices []*Device
+}
+
+// NewArray returns an array of n fresh devices sharing one spec.
+func NewArray(n int, spec Spec) (*Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flash: array size %d must be positive", n)
+	}
+	devices := make([]*Device, n)
+	for i := range devices {
+		devices[i] = NewDevice(spec)
+	}
+	return &Array{devices: devices}, nil
+}
+
+// N returns the number of device slots.
+func (a *Array) N() int { return len(a.devices) }
+
+// Device returns the device in slot i.
+func (a *Array) Device(i int) *Device { return a.devices[i] }
+
+// Alive returns the indices of healthy devices in slot order.
+func (a *Array) Alive() []int {
+	out := make([]int, 0, len(a.devices))
+	for i, d := range a.devices {
+		if d.State() == StateHealthy {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of healthy devices.
+func (a *Array) AliveCount() int { return len(a.Alive()) }
+
+// FailDevice takes slot i offline.
+func (a *Array) FailDevice(i int) error {
+	if i < 0 || i >= len(a.devices) {
+		return fmt.Errorf("flash: device index %d out of range", i)
+	}
+	a.devices[i].Fail()
+	return nil
+}
+
+// InsertSpare replaces slot i with a blank healthy device.
+func (a *Array) InsertSpare(i int) error {
+	if i < 0 || i >= len(a.devices) {
+		return fmt.Errorf("flash: device index %d out of range", i)
+	}
+	a.devices[i].Replace()
+	return nil
+}
+
+// TotalCapacity returns the sum of all slots' capacities, regardless of
+// state (the raw shelf size).
+func (a *Array) TotalCapacity() int64 {
+	var total int64
+	for _, d := range a.devices {
+		total += d.Spec().CapacityBytes
+	}
+	return total
+}
+
+// TotalUsed returns bytes stored across healthy devices.
+func (a *Array) TotalUsed() int64 {
+	var total int64
+	for _, d := range a.devices {
+		if d.State() == StateHealthy {
+			total += d.Used()
+		}
+	}
+	return total
+}

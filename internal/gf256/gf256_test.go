@@ -1,0 +1,307 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0x53, 0xca); got != 0x53^0xca {
+		t.Fatalf("Add(0x53,0xca) = %#x, want %#x", got, 0x53^0xca)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d,1) = %d, want %d", a, got, a)
+		}
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d,0) = %d, want 0", a, got)
+		}
+	}
+}
+
+func TestMulKnownVectors(t *testing.T) {
+	// Known products under polynomial 0x11d.
+	tests := []struct{ a, b, want byte }{
+		{2, 2, 4},
+		{0x80, 2, 0x1d},    // overflow wraps through the polynomial
+		{0xb6, 0x53, 0xee}, // spot value computed by carry-less mul + 0x11d reduction
+	}
+	for _, tc := range tests {
+		if got := Mul(tc.a, tc.b); got != tc.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMulAgainstSlowReference(t *testing.T) {
+	slow := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a&0x80 != 0
+			a <<= 1
+			if hi {
+				a ^= byte(polynomial & 0xff)
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	dist := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(dist, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivInverseRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv, err := Inverse(byte(a))
+		if err != nil {
+			t.Fatalf("Inverse(%d): %v", a, err)
+		}
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("a*Inverse(a) = %d for a=%d, want 1", got, a)
+		}
+		for b := 1; b < 256; b++ {
+			q, err := Div(byte(a), byte(b))
+			if err != nil {
+				t.Fatalf("Div(%d,%d): %v", a, b, err)
+			}
+			if got := Mul(q, byte(b)); got != byte(a) {
+				t.Fatalf("Div(%d,%d)*%d = %d, want %d", a, b, b, got, a)
+			}
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if _, err := Div(5, 0); err == nil {
+		t.Fatal("Div(5,0) succeeded, want error")
+	}
+	if _, err := Inverse(0); err == nil {
+		t.Fatal("Inverse(0) succeeded, want error")
+	}
+}
+
+func TestExpCycles(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatalf("Exp(0) = %d, want 1", Exp(0))
+	}
+	if Exp(255) != Exp(0) {
+		t.Fatalf("Exp should have period 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatalf("Exp(-1) = %d, want Exp(254) = %d", Exp(-1), Exp(254))
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	src := make([]byte, 300)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	dst := make([]byte, len(src))
+	MulSlice(0x5a, src, dst)
+	for i := range src {
+		if dst[i] != Mul(0x5a, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	src := make([]byte, 123)
+	dst := make([]byte, 123)
+	want := make([]byte, 123)
+	for i := range src {
+		src[i] = byte(i*3 + 1)
+		dst[i] = byte(i * 11)
+		want[i] = dst[i] ^ Mul(0x9c, src[i])
+	}
+	MulAddSlice(0x9c, src, dst)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("MulAddSlice mismatch")
+	}
+}
+
+func TestMulAddSliceSpecialCoefficients(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	dst := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	orig := append([]byte(nil), dst...)
+	MulAddSlice(0, src, dst)
+	if !bytes.Equal(dst, orig) {
+		t.Fatal("MulAddSlice with c=0 modified dst")
+	}
+	MulAddSlice(1, src, dst)
+	for i := range dst {
+		if dst[i] != orig[i]^src[i] {
+			t.Fatalf("MulAddSlice with c=1 not pure xor at %d", i)
+		}
+	}
+}
+
+func TestXorSliceUnrolledTail(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 100} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		want := make([]byte, n)
+		for i := 0; i < n; i++ {
+			src[i] = byte(i + 1)
+			dst[i] = byte(i * 5)
+			want[i] = src[i] ^ dst[i]
+		}
+		XorSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XorSlice wrong for n=%d", n)
+		}
+	}
+}
+
+func TestMatrixIdentityMul(t *testing.T) {
+	m := NewMatrix(3, 3)
+	vals := []byte{1, 2, 3, 4, 5, 6, 7, 9, 11}
+	copy(m.Data, vals)
+	id := Identity(3)
+	got, err := m.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, vals) {
+		t.Fatal("M × I != M")
+	}
+	got2, err := id.Mul(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2.Data, vals) {
+		t.Fatal("I × M != M")
+	}
+}
+
+func TestMatrixMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	// An invertible matrix built from distinct Vandermonde rows.
+	v := Vandermonde(6, 3)
+	m := v.SubMatrix(1, 4, 0, 3) // rows 1..3 are distinct points, invertible
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := m.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prod.Data, Identity(3).Data) {
+		t.Fatalf("M × M^-1 != I: %v", prod.Data)
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 5) // duplicate row
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestMatrixInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("expected error inverting non-square matrix")
+	}
+}
+
+func TestVandermondeShape(t *testing.T) {
+	v := Vandermonde(5, 3)
+	// Row 0 is [1, 0, 0]: evaluation point 0.
+	if v.At(0, 0) != 1 || v.At(0, 1) != 0 || v.At(0, 2) != 0 {
+		t.Fatalf("row 0 = %v, want [1 0 0]", v.Row(0))
+	}
+	// Row 1 is [1, 1, 1]: evaluation point 1.
+	for c := 0; c < 3; c++ {
+		if v.At(1, c) != 1 {
+			t.Fatalf("row 1 = %v, want all ones", v.Row(1))
+		}
+	}
+	// Row r, col c = r^c.
+	if v.At(3, 2) != Mul(3, 3) {
+		t.Fatalf("V[3][2] = %d, want %d", v.At(3, 2), Mul(3, 3))
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := range m.Data {
+		m.Data[i] = byte(i)
+	}
+	s := m.SubMatrix(1, 3, 1, 3)
+	want := []byte{5, 6, 9, 10}
+	if !bytes.Equal(s.Data, want) {
+		t.Fatalf("SubMatrix = %v, want %v", s.Data, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func BenchmarkMulAddSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x37, src, dst)
+	}
+}
+
+func BenchmarkXorSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(src, dst)
+	}
+}

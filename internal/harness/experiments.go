@@ -1,0 +1,676 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/metrics"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+// This file contains one driver per table/figure in the paper's evaluation
+// (§VI), plus the ablation studies DESIGN.md calls out. Every driver is
+// parameterised by Options so tests can run miniature versions and
+// cmd/reobench can run paper-scale ones.
+
+// Options scales and scopes an experiment.
+type Options struct {
+	// Scale linearly scales object sizes and chunk sizes relative to the
+	// paper (1.0 = 4.4MB mean objects). reobench defaults to 1/64.
+	Scale float64
+	// Seed drives all trace synthesis.
+	Seed int64
+	// Objects overrides the population (0 = paper's 4,000).
+	Objects int
+	// Requests overrides trace length (0 = paper's per-locality counts).
+	Requests int
+	// Parallelism bounds concurrent system runs (0 = 4).
+	Parallelism int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Scale <= 0 {
+		o.Scale = 1.0 / 64
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+}
+
+// traceFor synthesises a trace under the options.
+func (o Options) traceFor(loc workload.Locality, writeRatio float64) (*workload.Trace, error) {
+	cfg := workload.Paper(loc, o.Scale, writeRatio, o.Seed)
+	if o.Objects > 0 {
+		cfg.Objects = o.Objects
+	}
+	if o.Requests > 0 {
+		cfg.Requests = o.Requests
+	}
+	return workload.Generate(cfg)
+}
+
+// chunk scales a paper chunk size, with a 512B floor so tiny test scales
+// still produce multi-chunk stripes.
+func (o Options) chunk(paperBytes int) int {
+	c := int(float64(paperBytes) * o.Scale)
+	if c < 512 {
+		c = 512
+	}
+	return c
+}
+
+// normalRunPolicies is the six-way comparison of Figs 5–7.
+func normalRunPolicies() []policy.Policy {
+	return []policy.Policy{
+		policy.Uniform{ParityChunks: 0},
+		policy.Uniform{ParityChunks: 1},
+		policy.Uniform{ParityChunks: 2},
+		policy.Reo{ParityBudget: 0.10},
+		policy.Reo{ParityBudget: 0.20},
+		policy.Reo{ParityBudget: 0.40},
+	}
+}
+
+// NormalRunRow is one point of Figs 5/6/7 (a, b, and c components).
+type NormalRunRow struct {
+	Locality     workload.Locality
+	Policy       string
+	CacheSizePct int
+	// HitRatioPct, BandwidthMBps, LatencyMs are the three panels.
+	HitRatioPct   float64
+	BandwidthMBps float64
+	LatencyMs     float64
+	// SpaceEfficiencyPct is sampled at the end of the run (§VI.B table).
+	SpaceEfficiencyPct float64
+}
+
+// NormalRun reproduces Fig 5 (weak), Fig 6 (medium), or Fig 7 (strong):
+// hit ratio, bandwidth, and latency across cache sizes 4–12% of the data
+// set for the six policies.
+func NormalRun(loc workload.Locality, opts Options) ([]NormalRunRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(loc, 0)
+	if err != nil {
+		return nil, err
+	}
+	cachePcts := []int{4, 6, 8, 10, 12}
+	pols := normalRunPolicies()
+	rows := make([]NormalRunRow, len(cachePcts)*len(pols))
+	var tasks []func() error
+	for pi, pol := range pols {
+		for ci, pct := range cachePcts {
+			pi, ci, pol, pct := pi, ci, pol, pct
+			tasks = append(tasks, func() error {
+				sys, err := BuildSystem(SystemConfig{
+					Policy:             pol,
+					CacheBytes:         tr.DatasetBytes * int64(pct) / 100,
+					ChunkSize:          opts.chunk(64 << 10),
+					MetadataObjectSize: opts.metadataSize(),
+				}, tr)
+				if err != nil {
+					return err
+				}
+				res, err := Run(sys, tr, RunConfig{})
+				if err != nil {
+					return fmt.Errorf("%s @%d%%: %w", pol.Name(), pct, err)
+				}
+				rows[pi*len(cachePcts)+ci] = NormalRunRow{
+					Locality:           loc,
+					Policy:             pol.Name(),
+					CacheSizePct:       pct,
+					HitRatioPct:        res.TotalReads.HitRatio * 100,
+					BandwidthMBps:      res.TotalAll.BandwidthMBps,
+					LatencyMs:          ms(res.TotalAll.MeanLatency),
+					SpaceEfficiencyPct: res.SpaceEfficiency * 100,
+				}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(opts.Parallelism, tasks); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// SpaceRow is one row of the §VI.B space-efficiency comparison.
+type SpaceRow struct {
+	Locality           workload.Locality
+	Policy             string
+	SpaceEfficiencyPct float64
+}
+
+// SpaceEfficiency reproduces the §VI.B space-efficiency text table: Reo-10%
+// ≈ 90%, Reo-20% ≈ 80%, Reo-40% ≈ 60% efficiency across localities, at a
+// 10% cache with 64KB chunks, alongside the analytic uniform baselines.
+func SpaceEfficiency(opts Options) ([]SpaceRow, error) {
+	opts.applyDefaults()
+	var rows []SpaceRow
+	var mu sync.Mutex
+	var tasks []func() error
+	for _, loc := range []workload.Locality{workload.Weak, workload.Medium, workload.Strong} {
+		for _, budget := range []float64{0.10, 0.20, 0.40} {
+			loc, budget := loc, budget
+			tasks = append(tasks, func() error {
+				tr, err := opts.traceFor(loc, 0)
+				if err != nil {
+					return err
+				}
+				pol := policy.Reo{ParityBudget: budget}
+				sys, err := BuildSystem(SystemConfig{
+					Policy:             pol,
+					CacheBytes:         tr.DatasetBytes / 10,
+					ChunkSize:          opts.chunk(64 << 10),
+					MetadataObjectSize: opts.metadataSize(),
+				}, tr)
+				if err != nil {
+					return err
+				}
+				res, err := Run(sys, tr, RunConfig{})
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				rows = append(rows, SpaceRow{
+					Locality:           loc,
+					Policy:             pol.Name(),
+					SpaceEfficiencyPct: res.SpaceEfficiency * 100,
+				})
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+	if err := runParallel(opts.Parallelism, tasks); err != nil {
+		return nil, err
+	}
+	sortSpaceRows(rows)
+	return rows, nil
+}
+
+func sortSpaceRows(rows []SpaceRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rows[j-1], rows[j]
+			if a.Locality < b.Locality || (a.Locality == b.Locality && a.Policy <= b.Policy) {
+				break
+			}
+			rows[j-1], rows[j] = b, a
+		}
+	}
+}
+
+// FailureRow is one point of Fig 8: metrics for a given number of failed
+// devices.
+type FailureRow struct {
+	Policy        string
+	Failures      int
+	HitRatioPct   float64
+	BandwidthMBps float64
+	LatencyMs     float64
+}
+
+// FailureResistance reproduces Fig 8: the medium workload with a fully
+// warmed cache (10% of the data set, 1MB chunks) and four device failures
+// injected at the 10,000th/20,000th/30,000th/40,000th requests; each
+// segment between failures is measured separately.
+func FailureResistance(opts Options) ([]FailureRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(workload.Medium, 0)
+	if err != nil {
+		return nil, err
+	}
+	failAt := failureSchedule(len(tr.Requests))
+	var (
+		mu   sync.Mutex
+		rows []FailureRow
+	)
+	var tasks []func() error
+	for _, pol := range normalRunPolicies() {
+		pol := pol
+		tasks = append(tasks, func() error {
+			sys, err := BuildSystem(SystemConfig{
+				Policy:             pol,
+				CacheBytes:         tr.DatasetBytes / 10,
+				ChunkSize:          opts.chunk(1 << 20),
+				MetadataObjectSize: opts.metadataSize(),
+			}, tr)
+			if err != nil {
+				return err
+			}
+			res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: failAt})
+			if err != nil {
+				return fmt.Errorf("%s: %w", pol.Name(), err)
+			}
+			mu.Lock()
+			for _, ph := range res.Phases {
+				rows = append(rows, FailureRow{
+					Policy:        pol.Name(),
+					Failures:      ph.FailedDevices,
+					HitRatioPct:   ph.Reads.HitRatio * 100,
+					BandwidthMBps: ph.All.BandwidthMBps,
+					LatencyMs:     ms(ph.All.MeanLatency),
+				})
+			}
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := runParallel(opts.Parallelism, tasks); err != nil {
+		return nil, err
+	}
+	sortFailureRows(rows)
+	return rows, nil
+}
+
+// failureSchedule places four failures at the paper's request indices,
+// compressed proportionally for shorter test traces.
+func failureSchedule(requests int) map[int]int {
+	idx := func(paper int) int {
+		if requests >= 50_000 {
+			return paper
+		}
+		return paper * requests / 50_000
+	}
+	return map[int]int{
+		idx(10_000): 0,
+		idx(20_000): 1,
+		idx(30_000): 2,
+		idx(40_000): 3,
+	}
+}
+
+func sortFailureRows(rows []FailureRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rows[j-1], rows[j]
+			if a.Policy < b.Policy || (a.Policy == b.Policy && a.Failures <= b.Failures) {
+				break
+			}
+			rows[j-1], rows[j] = b, a
+		}
+	}
+}
+
+// WriteRow is one point of Fig 9.
+type WriteRow struct {
+	Policy        string
+	WriteRatioPct int
+	HitRatioPct   float64
+	BandwidthMBps float64
+	LatencyMs     float64
+}
+
+// DirtyDataProtection reproduces Fig 9: write-intensive medium workloads
+// (write ratio 10–50%), full replication vs Reo, 10% cache, 64KB chunks.
+func DirtyDataProtection(opts Options) ([]WriteRow, error) {
+	opts.applyDefaults()
+	pols := []policy.Policy{policy.FullReplication{}, policy.Reo{ParityBudget: 0.20}}
+	ratios := []int{10, 20, 30, 40, 50}
+	rows := make([]WriteRow, len(pols)*len(ratios))
+	var tasks []func() error
+	for pi, pol := range pols {
+		for ri, ratio := range ratios {
+			pi, ri, pol, ratio := pi, ri, pol, ratio
+			tasks = append(tasks, func() error {
+				tr, err := opts.traceFor(workload.Medium, float64(ratio)/100)
+				if err != nil {
+					return err
+				}
+				sys, err := BuildSystem(SystemConfig{
+					Policy:             pol,
+					CacheBytes:         tr.DatasetBytes / 10,
+					ChunkSize:          opts.chunk(64 << 10),
+					MetadataObjectSize: opts.metadataSize(),
+				}, tr)
+				if err != nil {
+					return err
+				}
+				res, err := Run(sys, tr, RunConfig{Warmup: true})
+				if err != nil {
+					return fmt.Errorf("%s @%d%% writes: %w", pol.Name(), ratio, err)
+				}
+				rows[pi*len(ratios)+ri] = WriteRow{
+					Policy:        pol.Name(),
+					WriteRatioPct: ratio,
+					HitRatioPct:   res.TotalReads.HitRatio * 100,
+					BandwidthMBps: res.TotalAll.BandwidthMBps,
+					LatencyMs:     ms(res.TotalAll.MeanLatency),
+				}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(opts.Parallelism, tasks); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Headline summarises the abstract's claims from the Fig 9 data: Reo's
+// improvement over full replication in hit ratio (paper: up to 3.1×) and
+// bandwidth (paper: up to 3.6×).
+type Headline struct {
+	MaxHitRatioGain  float64
+	MaxBandwidthGain float64
+}
+
+// HeadlineClaims computes the headline multipliers from Fig 9 rows.
+func HeadlineClaims(rows []WriteRow) Headline {
+	byRatio := make(map[int]map[string]WriteRow)
+	for _, r := range rows {
+		if byRatio[r.WriteRatioPct] == nil {
+			byRatio[r.WriteRatioPct] = make(map[string]WriteRow)
+		}
+		byRatio[r.WriteRatioPct][r.Policy] = r
+	}
+	var h Headline
+	for _, m := range byRatio {
+		full, okF := m["full-replication"]
+		reo, okR := m["Reo-20%"]
+		if !okF || !okR || full.HitRatioPct <= 0 || full.BandwidthMBps <= 0 {
+			continue
+		}
+		if g := reo.HitRatioPct / full.HitRatioPct; g > h.MaxHitRatioGain {
+			h.MaxHitRatioGain = g
+		}
+		if g := reo.BandwidthMBps / full.BandwidthMBps; g > h.MaxBandwidthGain {
+			h.MaxBandwidthGain = g
+		}
+	}
+	return h
+}
+
+// RecoveryRow compares recovery orderings (DESIGN.md ablation).
+type RecoveryRow struct {
+	Order string
+	// HitRatioPct during the post-failure, recovery-active segment.
+	HitRatioPct float64
+	// ImportantRecoveredFirstPct is the share of the first half of
+	// rebuilds that were metadata/dirty/hot objects.
+	ImportantRecoveredFirstPct float64
+	// RecoveryDoneRequest is when the rebuild queue drained (-1 = not
+	// finished within the trace).
+	RecoveryDoneRequest int
+	// Rebuilt counts objects restored.
+	Rebuilt int
+}
+
+// RecoveryAblation fails one device mid-trace, inserts a spare immediately,
+// and lets background recovery interleave with request service, comparing
+// class-ordered (Reo) and stripe-ordered (traditional) rebuilds.
+func RecoveryAblation(opts Options) ([]RecoveryRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(workload.Medium, 0.10)
+	if err != nil {
+		return nil, err
+	}
+	failIdx := len(tr.Requests) / 5
+	var rows []RecoveryRow
+	for _, order := range []store.RecoveryOrder{store.RecoverByClass, store.RecoverByStripeID} {
+		sys, err := BuildSystem(SystemConfig{
+			Policy:             policy.Reo{ParityBudget: 0.20},
+			CacheBytes:         tr.DatasetBytes / 10,
+			ChunkSize:          opts.chunk(64 << 10),
+			MetadataObjectSize: opts.metadataSize(),
+			RecoveryOrder:      order,
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		// Snapshot the rebuild queue the moment the spare lands to
+		// measure how front-loaded the important classes are.
+		var importantFirst float64
+		onSpare := func() {
+			importantFirst = importantFirstPct(sys.Store)
+		}
+		res, err := Run(sys, tr, RunConfig{
+			Warmup:                    true,
+			FailAt:                    map[int]int{failIdx: 0},
+			SpareAt:                   map[int]int{failIdx: 0},
+			RecoveryObjectsPerRequest: 2,
+			OnSpare:                   onSpare,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "by-class"
+		if order == store.RecoverByStripeID {
+			label = "by-stripe"
+		}
+		var recoveryPhase metrics.Stats
+		for _, ph := range res.Phases {
+			if ph.FailedDevices > 0 || ph.Label != "0 failures" {
+				recoveryPhase = ph.Reads
+			}
+		}
+		rows = append(rows, RecoveryRow{
+			Order:                      label,
+			HitRatioPct:                recoveryPhase.HitRatio * 100,
+			ImportantRecoveredFirstPct: importantFirst,
+			RecoveryDoneRequest:        res.RecoveryDoneRequest,
+			Rebuilt:                    res.RecoveryCompleted,
+		})
+	}
+	return rows, nil
+}
+
+// importantFirstPct returns the share of important (class ≤ 2) objects in
+// the first half of the pending rebuild queue. With an empty queue it
+// reports 0.
+func importantFirstPct(st *store.Store) float64 {
+	pending := st.RecoveryPending()
+	if len(pending) == 0 {
+		return 0
+	}
+	half := len(pending) / 2
+	if half == 0 {
+		half = len(pending)
+	}
+	important := 0
+	for _, id := range pending[:half] {
+		info, err := st.Info(id)
+		if err != nil {
+			continue
+		}
+		if info.Class <= 2 {
+			important++
+		}
+	}
+	return float64(important) / float64(half) * 100
+}
+
+// HotnessRow compares hotness metrics (DESIGN.md ablation).
+type HotnessRow struct {
+	Metric string
+	// NormalHitPct is the steady-state hit ratio.
+	NormalHitPct float64
+	// AfterFailureHitPct is the hit ratio after one device failure
+	// (higher = the protected hot set covered more of the traffic).
+	AfterFailureHitPct float64
+}
+
+// HotnessAblation compares the paper's H=Freq/Size ranking against a
+// frequency-only ranking under Reo-20% with one device failure.
+func HotnessAblation(opts Options) ([]HotnessRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(workload.Medium, 0)
+	if err != nil {
+		return nil, err
+	}
+	failIdx := len(tr.Requests) / 2
+	var rows []HotnessRow
+	for _, metric := range []struct {
+		name string
+		m    cache.HotnessMetric
+	}{{"freq/size", cache.FreqOverSize}, {"freq-only", cache.FreqOnly}} {
+		sys, err := BuildSystem(SystemConfig{
+			Policy:             policy.Reo{ParityBudget: 0.20},
+			CacheBytes:         tr.DatasetBytes / 10,
+			ChunkSize:          opts.chunk(64 << 10),
+			MetadataObjectSize: opts.metadataSize(),
+			HotnessMetric:      metric.m,
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: map[int]int{failIdx: 0}})
+		if err != nil {
+			return nil, err
+		}
+		row := HotnessRow{Metric: metric.name}
+		for _, ph := range res.Phases {
+			if ph.FailedDevices == 0 {
+				row.NormalHitPct = ph.Reads.HitRatio * 100
+			} else {
+				row.AfterFailureHitPct = ph.Reads.HitRatio * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ChunkRow compares chunk sizes (DESIGN.md ablation).
+type ChunkRow struct {
+	ChunkBytes    int
+	HitRatioPct   float64
+	BandwidthMBps float64
+	LatencyMs     float64
+}
+
+// ChunkAblation sweeps the stripe chunk size under Reo-20% on the medium
+// workload (the paper uses 64KB for normal runs and 1MB for the failure
+// tests).
+func ChunkAblation(opts Options) ([]ChunkRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(workload.Medium, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ChunkRow
+	for _, paperChunk := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		sys, err := BuildSystem(SystemConfig{
+			Policy:             policy.Reo{ParityBudget: 0.20},
+			CacheBytes:         tr.DatasetBytes / 10,
+			ChunkSize:          opts.chunk(paperChunk),
+			MetadataObjectSize: opts.metadataSize(),
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Run(sys, tr, RunConfig{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ChunkRow{
+			ChunkBytes:    opts.chunk(paperChunk),
+			HitRatioPct:   res.TotalReads.HitRatio * 100,
+			BandwidthMBps: res.TotalAll.BandwidthMBps,
+			LatencyMs:     ms(res.TotalAll.MeanLatency),
+		})
+	}
+	return rows, nil
+}
+
+// WearRow compares parity-placement strategies (DESIGN.md ablation on the
+// §IV.C.3 round-robin rotation).
+type WearRow struct {
+	Placement string
+	// MaxWearCycles and MinWearCycles are the most/least worn devices'
+	// estimated P/E consumption.
+	MaxWearCycles float64
+	MinWearCycles float64
+	// Imbalance is max/min (1.0 = perfectly even).
+	Imbalance float64
+}
+
+// WearAblation replays a write-heavy medium workload under Reo-20% with
+// round-robin parity rotation vs dedicated-parity placement and reports
+// per-device wear imbalance. Rotation should spread program/erase cycles
+// evenly; pinning parity concentrates wear on the parity devices.
+func WearAblation(opts Options) ([]WearRow, error) {
+	opts.applyDefaults()
+	tr, err := opts.traceFor(workload.Medium, 0.30)
+	if err != nil {
+		return nil, err
+	}
+	var rows []WearRow
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"rotated", false}, {"dedicated", true}} {
+		sys, err := BuildSystem(SystemConfig{
+			Policy:                policy.Reo{ParityBudget: 0.20},
+			CacheBytes:            tr.DatasetBytes / 10,
+			ChunkSize:             opts.chunk(64 << 10),
+			MetadataObjectSize:    opts.metadataSize(),
+			DisableParityRotation: variant.disable,
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := Run(sys, tr, RunConfig{}); err != nil {
+			return nil, err
+		}
+		arr := sys.Store.Array()
+		row := WearRow{Placement: variant.name, MinWearCycles: math.MaxFloat64}
+		for i := 0; i < arr.N(); i++ {
+			w := arr.Device(i).WearCycles()
+			if w > row.MaxWearCycles {
+				row.MaxWearCycles = w
+			}
+			if w < row.MinWearCycles {
+				row.MinWearCycles = w
+			}
+		}
+		if row.MinWearCycles > 0 {
+			row.Imbalance = row.MaxWearCycles / row.MinWearCycles
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runParallel executes tasks with bounded concurrency, returning the first
+// error.
+func runParallel(limit int, tasks []func() error) error {
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	errCh := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		task := task
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := task(); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// metadataSize scales the materialised metadata objects (4KB at paper
+// scale) with the experiment, flooring at 64 bytes.
+func (o Options) metadataSize() int {
+	s := int(4096 * o.Scale)
+	if s < 64 {
+		s = 64
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package hdd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRotationalDelay(t *testing.T) {
+	s := Spec{RPM: 7200}
+	// 7200 RPM = 120 rev/s = 8.33ms per rev; half is ~4.17ms.
+	got := s.RotationalDelay()
+	if got < 4*time.Millisecond || got > 4300*time.Microsecond {
+		t.Fatalf("RotationalDelay = %v, want ~4.17ms", got)
+	}
+	if (Spec{RPM: 0}).RotationalDelay() != 0 {
+		t.Fatal("zero RPM should have zero rotational delay")
+	}
+}
+
+func TestAccessCostComponents(t *testing.T) {
+	s := WD1TB(1e12)
+	zero := s.AccessCost(0)
+	if zero != s.AvgSeek+s.RotationalDelay() {
+		t.Fatalf("AccessCost(0) = %v, want seek+rotation = %v", zero, s.AvgSeek+s.RotationalDelay())
+	}
+	// 120 MB at 120 MB/s adds one second.
+	withData := s.AccessCost(120e6)
+	if diff := withData - zero; diff < 990*time.Millisecond || diff > 1010*time.Millisecond {
+		t.Fatalf("transfer component = %v, want ~1s", diff)
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	s := WD1TB(1e12)
+	n := int64(1 << 20)
+	if s.SequentialCost(n) >= s.AccessCost(n) {
+		t.Fatal("sequential transfer should be cheaper than random access")
+	}
+}
+
+func TestWD1TBSpec(t *testing.T) {
+	s := WD1TB(1e12)
+	if s.CapacityBytes != 1e12 || s.RPM != 7200 {
+		t.Fatalf("spec = %+v", s)
+	}
+}

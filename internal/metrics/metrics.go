@@ -1,0 +1,149 @@
+// Package metrics collects the three quantities every figure in the paper
+// reports — cache hit ratio, bandwidth (MB/s of data served per virtual
+// second), and per-request latency — plus a log-scale latency histogram for
+// tail analysis. Collectors are cheap, resettable, and safe for concurrent
+// use; the harness uses one collector per measurement phase (e.g. per
+// failure-count segment of Fig 8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/simclock"
+)
+
+// histogram bucket layout: log2 buckets from 1µs to ~17s.
+const (
+	bucketBase  = time.Microsecond
+	bucketCount = 25
+)
+
+// Collector accumulates per-request observations.
+type Collector struct {
+	mu           sync.Mutex
+	requests     int64
+	hits         int64
+	degradedHits int64
+	bytesServed  int64
+	latencySum   time.Duration
+	latencyMax   time.Duration
+	buckets      [bucketCount]int64
+	started      time.Duration // virtual time at start/reset
+}
+
+// NewCollector returns a collector whose bandwidth window starts at the
+// given virtual time.
+func NewCollector(start time.Duration) *Collector {
+	return &Collector{started: start}
+}
+
+// Record adds one request observation. degraded marks hits that required
+// on-the-fly reconstruction.
+func (c *Collector) Record(hit, degraded bool, bytes int64, latency time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	if hit {
+		c.hits++
+		if degraded {
+			c.degradedHits++
+		}
+	}
+	c.bytesServed += bytes
+	c.latencySum += latency
+	if latency > c.latencyMax {
+		c.latencyMax = latency
+	}
+	c.buckets[bucketIndex(latency)]++
+}
+
+func bucketIndex(d time.Duration) int {
+	if d < bucketBase {
+		return 0
+	}
+	idx := int(math.Log2(float64(d) / float64(bucketBase)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+// Stats is a snapshot of a collector.
+type Stats struct {
+	Requests     int64
+	Hits         int64
+	DegradedHits int64
+	BytesServed  int64
+	// HitRatio is hits/requests in [0,1].
+	HitRatio float64
+	// BandwidthMBps is bytes served per virtual second, in MB/s.
+	BandwidthMBps float64
+	// MeanLatency and MaxLatency are per-request.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	// P50 and P99 are approximate (bucketed) latency quantiles.
+	P50, P99 time.Duration
+	// Elapsed is the virtual time covered by this collector.
+	Elapsed time.Duration
+}
+
+// Snapshot summarises the collector's window ending at virtual time now.
+func (c *Collector) Snapshot(now time.Duration) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Requests:     c.requests,
+		Hits:         c.hits,
+		DegradedHits: c.degradedHits,
+		BytesServed:  c.bytesServed,
+		MaxLatency:   c.latencyMax,
+		Elapsed:      now - c.started,
+	}
+	if c.requests > 0 {
+		s.HitRatio = float64(c.hits) / float64(c.requests)
+		s.MeanLatency = c.latencySum / time.Duration(c.requests)
+	}
+	s.BandwidthMBps = simclock.Bandwidth(c.bytesServed, s.Elapsed)
+	s.P50 = c.quantileLocked(0.50)
+	s.P99 = c.quantileLocked(0.99)
+	return s
+}
+
+func (c *Collector) quantileLocked(q float64) time.Duration {
+	if c.requests == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(c.requests)))
+	var cum int64
+	for i, n := range c.buckets {
+		cum += n
+		if cum >= target {
+			// Upper edge of bucket i.
+			return bucketBase << uint(i+1)
+		}
+	}
+	return c.latencyMax
+}
+
+// Reset clears all counters and restarts the bandwidth window at now.
+func (c *Collector) Reset(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests, c.hits, c.degradedHits = 0, 0, 0
+	c.bytesServed = 0
+	c.latencySum, c.latencyMax = 0, 0
+	c.buckets = [bucketCount]int64{}
+	c.started = now
+}
+
+// String renders the headline numbers the way harness tables print them.
+func (s Stats) String() string {
+	return fmt.Sprintf("hit=%.1f%% bw=%.1fMB/s lat=%.2fms (n=%d)",
+		s.HitRatio*100, s.BandwidthMBps, float64(s.MeanLatency)/float64(time.Millisecond), s.Requests)
+}

@@ -1,0 +1,74 @@
+package osd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: any well-formed control message survives an encode→decode round
+// trip unchanged.
+func TestPropertyControlMessageRoundTrip(t *testing.T) {
+	setID := func(pid, oidV uint64, classRaw uint8) bool {
+		cmd := SetIDCommand{
+			Object: ObjectID{PID: pid, OID: oidV},
+			Class:  Class(classRaw % NumClasses),
+		}
+		decoded, err := DecodeControlMessage(cmd.Encode())
+		if err != nil {
+			return false
+		}
+		got, ok := decoded.(SetIDCommand)
+		return ok && got == cmd
+	}
+	if err := quick.Check(setID, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+
+	query := func(pid, oidV uint64, write bool, offset, size int64) bool {
+		op := OpRead
+		if write {
+			op = OpWrite
+		}
+		if offset < 0 {
+			offset = -offset
+		}
+		if size < 0 {
+			size = -size
+		}
+		cmd := QueryCommand{
+			Object: ObjectID{PID: pid, OID: oidV},
+			Op:     op,
+			Offset: offset,
+			Size:   size,
+		}
+		decoded, err := DecodeControlMessage(cmd.Encode())
+		if err != nil {
+			return false
+		}
+		got, ok := decoded.(QueryCommand)
+		return ok && got == cmd
+	}
+	if err := quick.Check(query, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary bytes never panic the decoder and either parse into a
+// valid command or return ErrBadMessage.
+func TestPropertyDecodeArbitraryBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		msg, err := DecodeControlMessage(raw)
+		if err != nil {
+			return msg == nil
+		}
+		switch msg.(type) {
+		case SetIDCommand, QueryCommand:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package policy defines the data-redundancy schemes Reo applies to cached
+// objects and the class→scheme maps for Reo's differentiated redundancy and
+// for the paper's baselines (uniform 0/1/2-parity and full replication,
+// §IV.C.4, §VI).
+package policy
+
+import (
+	"fmt"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+// Kind discriminates redundancy scheme families.
+type Kind int
+
+// Scheme kinds.
+const (
+	// KindParity stores objects in stripes with a fixed number of
+	// Reed–Solomon parity chunks (zero parity means no redundancy).
+	KindParity Kind = iota + 1
+	// KindReplicate stores a full copy of every chunk on every device in
+	// the array ("full replication" stripes, Figure 4).
+	KindReplicate
+)
+
+// Scheme is one redundancy level. The zero value is invalid; construct with
+// None, Parity, or ReplicateAll.
+type Scheme struct {
+	Kind Kind
+	// ParityChunks is the number of parity chunks per stripe for
+	// KindParity schemes.
+	ParityChunks int
+}
+
+// None returns the no-redundancy scheme (a 0-parity stripe).
+func None() Scheme { return Scheme{Kind: KindParity, ParityChunks: 0} }
+
+// Parity returns a Reed–Solomon scheme with k parity chunks per stripe.
+func Parity(k int) Scheme { return Scheme{Kind: KindParity, ParityChunks: k} }
+
+// ReplicateAll returns the full-replication scheme.
+func ReplicateAll() Scheme { return Scheme{Kind: KindReplicate} }
+
+// Valid reports whether the scheme is well formed for an array of n devices.
+func (s Scheme) Valid(n int) bool {
+	switch s.Kind {
+	case KindParity:
+		return s.ParityChunks >= 0 && s.ParityChunks < n
+	case KindReplicate:
+		return n >= 1
+	default:
+		return false
+	}
+}
+
+// Tolerance returns the number of simultaneous device failures the scheme
+// survives on an n-device array.
+func (s Scheme) Tolerance(n int) int {
+	switch s.Kind {
+	case KindParity:
+		return s.ParityChunks
+	case KindReplicate:
+		return n - 1
+	default:
+		return 0
+	}
+}
+
+// Overhead returns the fraction of stored bytes that is redundancy on an
+// n-device array: k/n for parity stripes, (n-1)/n for replication.
+func (s Scheme) Overhead(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	switch s.Kind {
+	case KindParity:
+		return float64(s.ParityChunks) / float64(n)
+	case KindReplicate:
+		return float64(n-1) / float64(n)
+	default:
+		return 0
+	}
+}
+
+// String names the scheme the way the paper's figures label policies.
+func (s Scheme) String() string {
+	switch s.Kind {
+	case KindParity:
+		return fmt.Sprintf("%d-parity", s.ParityChunks)
+	case KindReplicate:
+		return "full-replication"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s.Kind))
+	}
+}
+
+// Policy maps an object's class to the redundancy scheme applied when the
+// object is written into the flash array.
+type Policy interface {
+	// Name is the label used in experiment tables (e.g. "Reo-20%",
+	// "1-parity").
+	Name() string
+	// SchemeFor returns the redundancy scheme for objects of the given
+	// class.
+	SchemeFor(class osd.Class) Scheme
+	// Differentiated reports whether the policy distinguishes classes.
+	// Uniform policies return false: they apply one scheme to all data
+	// "indistinguishingly" (§VI).
+	Differentiated() bool
+}
+
+// Reo is the paper's differentiated redundancy policy (§IV.C.4): metadata
+// and dirty objects are replicated across all devices, hot clean objects get
+// two parity chunks, cold clean objects get none.
+type Reo struct {
+	// ParityBudget is the fraction of flash space reserved for
+	// redundancy (0.10 for Reo-10%, etc.). The budget does not change
+	// the per-class schemes; it bounds how many objects may be
+	// classified hot (enforced by the cache manager's adaptive
+	// threshold).
+	ParityBudget float64
+}
+
+var _ Policy = Reo{}
+
+// Name returns e.g. "Reo-20%".
+func (r Reo) Name() string { return fmt.Sprintf("Reo-%d%%", int(r.ParityBudget*100+0.5)) }
+
+// SchemeFor implements Policy with the Table II → §IV.C.4 mapping.
+func (r Reo) SchemeFor(class osd.Class) Scheme {
+	switch class {
+	case osd.ClassMetadata, osd.ClassDirty:
+		return ReplicateAll()
+	case osd.ClassHotClean:
+		return Parity(2)
+	default:
+		return None()
+	}
+}
+
+// Differentiated reports true.
+func (r Reo) Differentiated() bool { return true }
+
+// Uniform is the uniform-data-protection baseline: the same parity level for
+// every object regardless of class.
+type Uniform struct {
+	// ParityChunks per stripe (0, 1, or 2 in the paper's evaluation).
+	ParityChunks int
+}
+
+var _ Policy = Uniform{}
+
+// Name returns e.g. "1-parity".
+func (u Uniform) Name() string { return fmt.Sprintf("%d-parity", u.ParityChunks) }
+
+// SchemeFor returns the same parity scheme for every class.
+func (u Uniform) SchemeFor(osd.Class) Scheme { return Parity(u.ParityChunks) }
+
+// Differentiated reports false.
+func (u Uniform) Differentiated() bool { return false }
+
+// FullReplication is the uniform full-replication baseline used in the
+// dirty-data experiments (§VI.D): without semantic information it "has to
+// assume all the data are dirty".
+type FullReplication struct{}
+
+var _ Policy = FullReplication{}
+
+// Name returns "full-replication".
+func (FullReplication) Name() string { return "full-replication" }
+
+// SchemeFor replicates every class.
+func (FullReplication) SchemeFor(osd.Class) Scheme { return ReplicateAll() }
+
+// Differentiated reports false.
+func (FullReplication) Differentiated() bool { return false }

@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+func TestSchemeConstructors(t *testing.T) {
+	if s := None(); s.Kind != KindParity || s.ParityChunks != 0 {
+		t.Fatalf("None = %+v", s)
+	}
+	if s := Parity(2); s.Kind != KindParity || s.ParityChunks != 2 {
+		t.Fatalf("Parity(2) = %+v", s)
+	}
+	if s := ReplicateAll(); s.Kind != KindReplicate {
+		t.Fatalf("ReplicateAll = %+v", s)
+	}
+}
+
+func TestSchemeValidity(t *testing.T) {
+	n := 5
+	if !None().Valid(n) || !Parity(2).Valid(n) || !Parity(4).Valid(n) || !ReplicateAll().Valid(n) {
+		t.Fatal("valid schemes rejected")
+	}
+	if Parity(5).Valid(n) {
+		t.Fatal("parity == device count accepted (no data chunks left)")
+	}
+	if Parity(-1).Valid(n) {
+		t.Fatal("negative parity accepted")
+	}
+	if (Scheme{}).Valid(n) {
+		t.Fatal("zero-value scheme accepted")
+	}
+}
+
+func TestTolerance(t *testing.T) {
+	n := 5
+	if got := None().Tolerance(n); got != 0 {
+		t.Errorf("None tolerance = %d", got)
+	}
+	if got := Parity(2).Tolerance(n); got != 2 {
+		t.Errorf("2-parity tolerance = %d", got)
+	}
+	if got := ReplicateAll().Tolerance(n); got != 4 {
+		t.Errorf("replication tolerance = %d, want n-1", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	n := 5
+	if got := None().Overhead(n); got != 0 {
+		t.Errorf("None overhead = %v", got)
+	}
+	if got := Parity(1).Overhead(n); got != 0.2 {
+		t.Errorf("1-parity overhead = %v, want 0.2", got)
+	}
+	if got := Parity(2).Overhead(n); got != 0.4 {
+		t.Errorf("2-parity overhead = %v, want 0.4", got)
+	}
+	if got := ReplicateAll().Overhead(n); got != 0.8 {
+		t.Errorf("replication overhead = %v, want 0.8", got)
+	}
+	if got := Parity(1).Overhead(0); got != 0 {
+		t.Errorf("overhead with n=0 = %v", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if None().String() != "0-parity" || Parity(2).String() != "2-parity" || ReplicateAll().String() != "full-replication" {
+		t.Fatal("unexpected scheme names")
+	}
+}
+
+func TestReoPolicyMapping(t *testing.T) {
+	r := Reo{ParityBudget: 0.2}
+	if r.Name() != "Reo-20%" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if !r.Differentiated() {
+		t.Fatal("Reo must be differentiated")
+	}
+	if s := r.SchemeFor(osd.ClassMetadata); s.Kind != KindReplicate {
+		t.Errorf("metadata scheme = %v", s)
+	}
+	if s := r.SchemeFor(osd.ClassDirty); s.Kind != KindReplicate {
+		t.Errorf("dirty scheme = %v", s)
+	}
+	if s := r.SchemeFor(osd.ClassHotClean); s != Parity(2) {
+		t.Errorf("hot scheme = %v, want 2-parity", s)
+	}
+	if s := r.SchemeFor(osd.ClassColdClean); s != None() {
+		t.Errorf("cold scheme = %v, want 0-parity", s)
+	}
+}
+
+func TestUniformPolicy(t *testing.T) {
+	u := Uniform{ParityChunks: 1}
+	if u.Name() != "1-parity" {
+		t.Fatalf("Name = %q", u.Name())
+	}
+	if u.Differentiated() {
+		t.Fatal("uniform must not be differentiated")
+	}
+	for _, c := range []osd.Class{osd.ClassMetadata, osd.ClassDirty, osd.ClassHotClean, osd.ClassColdClean} {
+		if s := u.SchemeFor(c); s != Parity(1) {
+			t.Errorf("class %v scheme = %v", c, s)
+		}
+	}
+}
+
+func TestFullReplicationPolicy(t *testing.T) {
+	f := FullReplication{}
+	if f.Name() != "full-replication" || f.Differentiated() {
+		t.Fatal("unexpected full-replication policy identity")
+	}
+	for _, c := range []osd.Class{osd.ClassMetadata, osd.ClassDirty, osd.ClassHotClean, osd.ClassColdClean} {
+		if s := f.SchemeFor(c); s.Kind != KindReplicate {
+			t.Errorf("class %v scheme = %v", c, s)
+		}
+	}
+}

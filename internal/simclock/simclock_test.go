@@ -1,0 +1,100 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock Now = %v, want 0", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if got := c.Now(); got != 8*time.Millisecond {
+		t.Fatalf("Now = %v, want 8ms", got)
+	}
+}
+
+func TestAdvanceIgnoresNonPositive(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond)
+	c.Advance(0)
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != time.Millisecond {
+		t.Fatalf("Now = %v, want 1ms", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind to zero")
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 8*1000*time.Microsecond {
+		t.Fatalf("Now = %v, want 8ms", got)
+	}
+}
+
+func TestParallelSerial(t *testing.T) {
+	if got := Parallel(time.Millisecond, 3*time.Millisecond, 2*time.Millisecond); got != 3*time.Millisecond {
+		t.Fatalf("Parallel = %v, want 3ms", got)
+	}
+	if got := Parallel(); got != 0 {
+		t.Fatalf("Parallel() = %v, want 0", got)
+	}
+	if got := Serial(time.Millisecond, 2*time.Millisecond, -time.Millisecond); got != 3*time.Millisecond {
+		t.Fatalf("Serial = %v, want 3ms", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 100 MB at 100 MB/s is one second.
+	if got := TransferTime(100e6, 100e6); got != time.Second {
+		t.Fatalf("TransferTime = %v, want 1s", got)
+	}
+	if TransferTime(100, 0) != 0 {
+		t.Fatal("zero bandwidth should cost nothing")
+	}
+	if TransferTime(-5, 100) != 0 {
+		t.Fatal("negative bytes should cost nothing")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if got := Bandwidth(200e6, 2*time.Second); got != 100 {
+		t.Fatalf("Bandwidth = %v, want 100", got)
+	}
+	if Bandwidth(100, 0) != 0 {
+		t.Fatal("zero elapsed should report zero bandwidth")
+	}
+}
+
+func TestFormatMBps(t *testing.T) {
+	if got := FormatMBps(437.25); got != "437.2 MB/s" && got != "437.3 MB/s" {
+		t.Fatalf("FormatMBps = %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/stripe"
+)
+
+func TestScrubCleanStore(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	populateScrub(t, s)
+	report, cost, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.SilentlyCorrupted) != 0 {
+		t.Fatalf("clean store reported corruption: %v", report.SilentlyCorrupted)
+	}
+	if report.StripesScanned == 0 || report.StripesHealthy != report.StripesScanned {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.ObjectsScanned < 3 {
+		t.Fatalf("objects scanned = %d", report.ObjectsScanned)
+	}
+	if cost <= 0 {
+		t.Fatal("scrub should cost IO time")
+	}
+}
+
+func populateScrub(t *testing.T, s *Store) {
+	t.Helper()
+	// One hot (2-parity) and one dirty (replicated) object, both of
+	// which have redundancy to verify.
+	if _, err := s.Put(oid(1), randBytes(1, 20_000), osd.ClassHotClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(oid(2), randBytes(2, 10_000), osd.ClassDirty, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubDetectsSilentParityCorruption(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	populateScrub(t, s)
+	// Flip one bit in some chunk of the hot object on device 0. The read
+	// path cannot see it (data chunks still "read" fine); only the scrub
+	// cross-check can.
+	corrupted := corruptOneChunk(t, s, 0)
+	report, _, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.SilentlyCorrupted) == 0 {
+		t.Fatalf("scrub missed the corruption (flipped stripe %d)", corrupted)
+	}
+}
+
+// corruptOneChunk flips a bit in the first chunk it finds on the device and
+// returns the stripe address.
+func corruptOneChunk(t *testing.T, s *Store, dev int) stripe.ID {
+	t.Helper()
+	d := s.Array().Device(dev)
+	// Stripe IDs are small and dense; probe the first few hundred.
+	for id := stripe.ID(1); id < 4096; id++ {
+		if d.Has(flash.ChunkAddr(id)) {
+			if !d.Corrupt(flash.ChunkAddr(id), 0) {
+				t.Fatal("corruption failed")
+			}
+			return id
+		}
+	}
+	t.Fatal("no chunk found on device")
+	return 0
+}
+
+func TestScrubDegradedNotMismatch(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	populateScrub(t, s)
+	_ = s.FailDevice(0)
+	report, _, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StripesDegraded == 0 {
+		t.Fatal("failure should leave degraded stripes")
+	}
+	if len(report.SilentlyCorrupted) != 0 {
+		t.Fatal("missing chunks must not be reported as silent corruption")
+	}
+}
+
+func TestQuerySenseRecoveryEnds(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	populateScrub(t, s)
+	_ = s.FailDevice(1)
+	if _, err := s.InsertSpare(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.RecoverAll(); err != nil {
+		t.Fatal(err)
+	}
+	// First query after completion reports sense 0x66 once.
+	sense, err := s.Control(osd.QueryCommand{Object: oid(1), Op: osd.OpRead, Size: 1}.Encode())
+	if err != nil || sense != osd.SenseRecoveryEnds {
+		t.Fatalf("sense = %v, err = %v, want 0x66", sense, err)
+	}
+	sense, err = s.Control(osd.QueryCommand{Object: oid(1), Op: osd.OpRead, Size: 1}.Encode())
+	if err != nil || sense != osd.SenseOK {
+		t.Fatalf("second query sense = %v, err = %v, want OK", sense, err)
+	}
+}

@@ -1,0 +1,586 @@
+// Package store implements Reo's object storage target: the user-level
+// osd-target process of the paper (§V), re-hosted on the simulated flash
+// array. It combines the OSD directory (object namespace + classes), the
+// stripe manager (variable-parity layout), and a redundancy policy into the
+// full object lifecycle:
+//
+//   - Put applies the policy's per-class encoding (§IV.C.4), enforcing the
+//     reserved redundancy budget (sense 0x67 when exceeded).
+//   - Get serves on-demand access with the three-way outcome of §IV.D —
+//     immediately accessible, corrupted-but-recoverable (degraded read), or
+//     irrecoverable (sense 0x63).
+//   - Control decodes #SETID#/#QUERY# messages written to the
+//     communication object (OID 0x10004) and answers with Table III sense
+//     codes.
+//   - The recovery engine (recovery.go) rebuilds objects onto replacement
+//     spares in class order — differentiated data recovery.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/stripe"
+)
+
+// Errors surfaced to the cache manager; each maps onto a Table III sense
+// code at the Control interface.
+var (
+	// ErrNotFound: the object does not exist.
+	ErrNotFound = errors.New("store: object not found")
+	// ErrCacheFull: the flash array cannot fit the object (sense 0x64).
+	ErrCacheFull = errors.New("store: cache is full")
+	// ErrRedundancyFull: the reserved redundancy space is exhausted
+	// (sense 0x67).
+	ErrRedundancyFull = errors.New("store: redundancy space is full")
+	// ErrCorrupted: the object's data loss exceeds its redundancy level
+	// (sense 0x63).
+	ErrCorrupted = errors.New("store: object is corrupted and irrecoverable")
+)
+
+// RecoveryOrder selects how the rebuild queue is ordered.
+type RecoveryOrder int
+
+// Recovery orderings.
+const (
+	// RecoverByClass is Reo's differentiated recovery: class 0 first,
+	// then 1, 2, 3 (§IV.D).
+	RecoverByClass RecoveryOrder = iota + 1
+	// RecoverByStripeID is the traditional block-order baseline: rebuild
+	// in storage-address order, ignoring semantics.
+	RecoverByStripeID
+)
+
+// Config parameterises a store.
+type Config struct {
+	// Devices is the flash array width (the paper uses 5).
+	Devices int
+	// DeviceSpec is the per-device performance/capacity model.
+	DeviceSpec flash.Spec
+	// ChunkSize is the stripe chunk size in bytes.
+	ChunkSize int
+	// Policy maps object classes to redundancy schemes.
+	Policy policy.Policy
+	// RedundancyBudget is the fraction of raw array capacity reserved
+	// for hot-clean redundancy (Reo-X%). Zero means unlimited. Metadata
+	// and dirty objects are always admitted: the paper gives them the
+	// strongest protection unconditionally.
+	RedundancyBudget float64
+	// RecoveryOrder defaults to RecoverByClass.
+	RecoveryOrder RecoveryOrder
+	// SkipMetadataObjects suppresses materialising the exofs metadata
+	// objects at startup (used by a few focused tests).
+	SkipMetadataObjects bool
+	// DisableParityRotation pins parity to the lowest-index devices
+	// instead of rotating it round-robin (wear-levelling ablation).
+	DisableParityRotation bool
+	// MetadataObjectSize is the size of each materialised metadata
+	// object. Defaults to 4096 (the paper: the largest, the root
+	// directory object, is 4KB). Scaled-down experiments shrink it
+	// proportionally so metadata stays as negligible as it is at full
+	// scale.
+	MetadataObjectSize int
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Devices <= 0 {
+		return fmt.Errorf("store: device count %d must be positive", c.Devices)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("store: chunk size %d must be positive", c.ChunkSize)
+	}
+	if c.Policy == nil {
+		return errors.New("store: policy is required")
+	}
+	if c.RedundancyBudget < 0 || c.RedundancyBudget > 1 {
+		return fmt.Errorf("store: redundancy budget %v out of [0,1]", c.RedundancyBudget)
+	}
+	if c.RecoveryOrder == 0 {
+		c.RecoveryOrder = RecoverByClass
+	}
+	if c.MetadataObjectSize <= 0 {
+		c.MetadataObjectSize = 4096
+	}
+	return nil
+}
+
+type object struct {
+	id      osd.ObjectID
+	class   osd.Class
+	size    int
+	dirty   bool
+	stripes []stripe.ID
+}
+
+// Store is the object storage target. All methods are safe for concurrent
+// use.
+type Store struct {
+	cfg     Config
+	array   *flash.Array
+	dir     *osd.Directory
+	stripes *stripe.Manager
+
+	mu      sync.Mutex
+	objects map[osd.ObjectID]*object
+
+	recovering bool
+	queue      []osd.ObjectID
+	// recoveryEnded latches when the rebuild queue drains; the next
+	// query command observes sense 0x66 ("recovery ends") once.
+	recoveryEnded bool
+}
+
+// ObjectStatus is the §IV.D three-way classification plus absence.
+type ObjectStatus int
+
+// Object statuses.
+const (
+	// StatusAlive: immediately accessible.
+	StatusAlive ObjectStatus = iota + 1
+	// StatusDegraded: corrupted but reconstructible from survivors.
+	StatusDegraded
+	// StatusLost: irrecoverable.
+	StatusLost
+	// StatusNotFound: no such object.
+	StatusNotFound
+)
+
+// String returns the status name.
+func (s ObjectStatus) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusDegraded:
+		return "degraded"
+	case StatusLost:
+		return "lost"
+	case StatusNotFound:
+		return "not-found"
+	default:
+		return fmt.Sprintf("ObjectStatus(%d)", int(s))
+	}
+}
+
+// New builds a store: a fresh flash array, the OSD directory with its
+// reserved metadata objects, and (unless suppressed) the metadata objects
+// materialised on flash under the policy's ClassMetadata scheme.
+func New(cfg Config) (*Store, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	array, err := flash.NewArray(cfg.Devices, cfg.DeviceSpec)
+	if err != nil {
+		return nil, err
+	}
+	var stripeOpts []stripe.Option
+	if cfg.DisableParityRotation {
+		stripeOpts = append(stripeOpts, stripe.WithoutParityRotation())
+	}
+	mgr, err := stripe.NewManager(array, cfg.ChunkSize, stripeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		cfg:     cfg,
+		array:   array,
+		dir:     osd.NewDirectory(),
+		stripes: mgr,
+		objects: make(map[osd.ObjectID]*object),
+	}
+	if !cfg.SkipMetadataObjects {
+		for _, oid := range []uint64{osd.SuperBlockOID, osd.DeviceTableOID, osd.RootDirectoryOID} {
+			id := osd.ObjectID{PID: osd.FirstPID, OID: oid}
+			payload := make([]byte, cfg.MetadataObjectSize)
+			for i := range payload {
+				payload[i] = byte(oid + uint64(i))
+			}
+			if _, err := s.Put(id, payload, osd.ClassMetadata, false); err != nil {
+				return nil, fmt.Errorf("store: materialise metadata %v: %w", id, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Array exposes the underlying flash array (failure injection, stats).
+func (s *Store) Array() *flash.Array { return s.array }
+
+// Directory exposes the OSD namespace.
+func (s *Store) Directory() *osd.Directory { return s.dir }
+
+// Policy returns the configured redundancy policy.
+func (s *Store) Policy() policy.Policy { return s.cfg.Policy }
+
+// Put writes (or overwrites) an object with the given class, applying the
+// policy's redundancy scheme. It returns the virtual-time IO cost.
+func (s *Store) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	if !class.Valid() {
+		return 0, fmt.Errorf("store: invalid class %d", class)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scheme := s.cfg.Policy.SchemeFor(class)
+	if err := s.checkBudgetLocked(id, class, scheme, len(data)); err != nil {
+		return 0, err
+	}
+	// Free a previous version first so its space is reusable.
+	if prev, ok := s.objects[id]; ok {
+		s.stripes.Free(prev.stripes)
+	}
+	ids, cost, err := s.stripes.Write(data, scheme)
+	if err != nil {
+		delete(s.objects, id)
+		if errors.Is(err, flash.ErrDeviceFull) {
+			return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
+		}
+		return 0, err
+	}
+	s.objects[id] = &object{id: id, class: class, size: len(data), dirty: dirty, stripes: ids}
+	if s.dir.Exists(id) {
+		if err := s.dir.Update(id, func(info *osd.Info) {
+			info.Size = int64(len(data))
+			info.Class = class
+			info.Dirty = dirty
+		}); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := s.dir.CreateObject(osd.Info{
+			ID: id, Type: osd.TypeUser, Class: class, Size: int64(len(data)), Dirty: dirty,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return cost, nil
+}
+
+// checkBudgetLocked enforces the reserved redundancy space for hot-clean
+// objects under differentiated policies. Uniform policies and the
+// always-protected classes bypass the check.
+func (s *Store) checkBudgetLocked(id osd.ObjectID, class osd.Class, scheme policy.Scheme, size int) error {
+	if s.cfg.RedundancyBudget <= 0 || !s.cfg.Policy.Differentiated() {
+		return nil
+	}
+	if class != osd.ClassHotClean {
+		return nil
+	}
+	alive := s.array.AliveCount()
+	if alive == 0 {
+		return nil // Write will fail with a clearer error.
+	}
+	overhead := scheme.Overhead(alive)
+	if overhead <= 0 {
+		return nil
+	}
+	// Estimated redundancy bytes for this object: its data share implies
+	// size * overhead/(1-overhead) parity bytes.
+	needed := int64(float64(size) * overhead / (1 - overhead))
+	// The reserved budget bounds the *hot set's* parity (§IV.C.1: hot
+	// objects are admitted "until a predefined data redundancy
+	// percentage is reached"); metadata and dirty replication are
+	// protected unconditionally and do not consume it.
+	currentOverhead := s.hotOverheadLocked(id)
+	budget := int64(s.cfg.RedundancyBudget * float64(s.array.TotalCapacity()))
+	if currentOverhead+needed > budget {
+		return fmt.Errorf("%w: object %v needs %d redundancy bytes, %d of %d in use",
+			ErrRedundancyFull, id, needed, currentOverhead, budget)
+	}
+	return nil
+}
+
+// hotOverheadLocked sums the redundancy bytes of hot-clean objects,
+// excluding the object being (re)written.
+func (s *Store) hotOverheadLocked(exclude osd.ObjectID) int64 {
+	var total int64
+	for _, obj := range s.objects {
+		if obj.class != osd.ClassHotClean || obj.id == exclude {
+			continue
+		}
+		for _, sid := range obj.stripes {
+			if info, err := s.stripes.Describe(sid); err == nil {
+				total += info.OverheadBytes
+			}
+		}
+	}
+	return total
+}
+
+// Get reads an object. degraded reports whether any stripe needed on-the-fly
+// reconstruction. An irrecoverable object is freed and reported as
+// ErrCorrupted; a missing object as ErrNotFound.
+func (s *Store) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return nil, 0, false, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	for _, sid := range obj.stripes {
+		st, err := s.stripes.Status(sid)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if st != stripe.StatusHealthy {
+			degraded = true
+			break
+		}
+	}
+	data, cost, err = s.stripes.Read(obj.stripes, obj.size)
+	if err != nil {
+		if errors.Is(err, stripe.ErrUnrecoverable) {
+			s.freeObjectLocked(obj)
+			return nil, 0, false, fmt.Errorf("%w: %v", ErrCorrupted, id)
+		}
+		return nil, 0, false, err
+	}
+	return data, cost, degraded, nil
+}
+
+// Delete removes the object and frees its stripes.
+func (s *Store) Delete(id osd.ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	s.freeObjectLocked(obj)
+	return nil
+}
+
+func (s *Store) freeObjectLocked(obj *object) {
+	s.stripes.Free(obj.stripes)
+	delete(s.objects, obj.id)
+	_ = s.dir.Remove(obj.id)
+}
+
+// SetClass updates the object's class label without re-encoding (the raw
+// effect of a #SETID# control message).
+func (s *Store) SetClass(id osd.ObjectID, class osd.Class) error {
+	if !class.Valid() {
+		return fmt.Errorf("store: invalid class %d", class)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	obj.class = class
+	return s.dir.SetClass(id, class)
+}
+
+// Reclassify changes the object's class and, when the policy maps the new
+// class to a different redundancy scheme, re-encodes the object in place
+// (read + rewrite). It returns the IO cost.
+func (s *Store) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
+	if !class.Valid() {
+		return 0, fmt.Errorf("store: invalid class %d", class)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	oldScheme := s.cfg.Policy.SchemeFor(obj.class)
+	newScheme := s.cfg.Policy.SchemeFor(class)
+	if oldScheme == newScheme {
+		obj.class = class
+		return 0, s.dir.SetClass(id, class)
+	}
+	if err := s.checkBudgetLocked(id, class, newScheme, obj.size); err != nil {
+		return 0, err
+	}
+	data, readCost, err := s.stripes.Read(obj.stripes, obj.size)
+	if err != nil {
+		if errors.Is(err, stripe.ErrUnrecoverable) {
+			s.freeObjectLocked(obj)
+			return 0, fmt.Errorf("%w: %v", ErrCorrupted, id)
+		}
+		return 0, err
+	}
+	s.stripes.Free(obj.stripes)
+	ids, writeCost, err := s.stripes.Write(data, newScheme)
+	if err != nil {
+		delete(s.objects, id)
+		_ = s.dir.Remove(id)
+		if errors.Is(err, flash.ErrDeviceFull) {
+			return 0, fmt.Errorf("%w: reclassify %v", ErrCacheFull, id)
+		}
+		return 0, err
+	}
+	obj.stripes = ids
+	obj.class = class
+	return readCost + writeCost, s.dir.SetClass(id, class)
+}
+
+// MarkClean clears the object's dirty flag after a write-back flush.
+func (s *Store) MarkClean(id osd.ObjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	obj.dirty = false
+	return s.dir.Update(id, func(info *osd.Info) { info.Dirty = false })
+}
+
+// Status classifies the object per §IV.D without charging IO.
+func (s *Store) Status(id osd.ObjectID) ObjectStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[id]
+	if !ok {
+		return StatusNotFound
+	}
+	return s.statusLocked(obj)
+}
+
+func (s *Store) statusLocked(obj *object) ObjectStatus {
+	worst := StatusAlive
+	for _, sid := range obj.stripes {
+		st, err := s.stripes.Status(sid)
+		if err != nil {
+			return StatusLost
+		}
+		switch st {
+		case stripe.StatusLost:
+			return StatusLost
+		case stripe.StatusDegraded:
+			worst = StatusDegraded
+		}
+	}
+	return worst
+}
+
+// Has reports whether the object exists (regardless of health).
+func (s *Store) Has(id osd.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Info returns the object's directory metadata.
+func (s *Store) Info(id osd.ObjectID) (osd.Info, error) {
+	info, err := s.dir.Lookup(id)
+	if err != nil {
+		return osd.Info{}, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	return info, nil
+}
+
+// ObjectCount returns the number of live objects (including metadata
+// objects).
+func (s *Store) ObjectCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// CountByClass returns live object counts per class.
+func (s *Store) CountByClass() [osd.NumClasses]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [osd.NumClasses]int
+	for _, obj := range s.objects {
+		out[obj.class]++
+	}
+	return out
+}
+
+// SpaceEfficiency returns user bytes / (user + redundancy + padding) bytes,
+// the paper's §VI.B definition. An empty store reports 1.0.
+func (s *Store) SpaceEfficiency() float64 {
+	user, overhead := s.stripes.Totals()
+	if user+overhead == 0 {
+		return 1.0
+	}
+	return float64(user) / float64(user+overhead)
+}
+
+// UsedBytes returns bytes stored on healthy devices.
+func (s *Store) UsedBytes() int64 { return s.array.TotalUsed() }
+
+// RawCapacity returns the array's total raw capacity.
+func (s *Store) RawCapacity() int64 { return s.array.TotalCapacity() }
+
+// AliveCapacity returns the raw capacity of healthy devices.
+func (s *Store) AliveCapacity() int64 {
+	var total int64
+	for _, i := range s.array.Alive() {
+		total += s.array.Device(i).Spec().CapacityBytes
+	}
+	return total
+}
+
+// OverheadBytes returns current redundancy + padding bytes.
+func (s *Store) OverheadBytes() int64 {
+	_, overhead := s.stripes.Totals()
+	return overhead
+}
+
+// AliveDevices returns the number of healthy devices.
+func (s *Store) AliveDevices() int { return s.array.AliveCount() }
+
+// Devices returns the flash array width.
+func (s *Store) Devices() int { return s.array.N() }
+
+// FailDevice injects a device failure (the "shootdown" command of §VI.C).
+func (s *Store) FailDevice(i int) error {
+	return s.array.FailDevice(i)
+}
+
+// Control handles a message written to the communication object
+// (OID 0x10004) and returns the sense code per Table III.
+func (s *Store) Control(raw []byte) (osd.SenseCode, error) {
+	msg, err := osd.DecodeControlMessage(raw)
+	if err != nil {
+		return osd.SenseFailure, err
+	}
+	switch cmd := msg.(type) {
+	case osd.SetIDCommand:
+		if err := s.SetClass(cmd.Object, cmd.Class); err != nil {
+			return osd.SenseFailure, err
+		}
+		return osd.SenseOK, nil
+	case osd.QueryCommand:
+		return s.query(cmd), nil
+	default:
+		return osd.SenseFailure, fmt.Errorf("store: unhandled control message %T", msg)
+	}
+}
+
+func (s *Store) query(cmd osd.QueryCommand) osd.SenseCode {
+	s.mu.Lock()
+	ended := s.recoveryEnded
+	s.recoveryEnded = false
+	s.mu.Unlock()
+	if ended {
+		// One-shot notification that reconstruction has finished
+		// (Table III, sense 0x66).
+		return osd.SenseRecoveryEnds
+	}
+	if s.RecoveryActive() {
+		if st := s.Status(cmd.Object); st == StatusDegraded {
+			// The object is not directly accessible yet: recovery in
+			// progress (sense 0x65).
+			return osd.SenseRecoveryStarts
+		}
+	}
+	switch s.Status(cmd.Object) {
+	case StatusAlive, StatusDegraded:
+		return osd.SenseOK
+	case StatusLost:
+		return osd.SenseCorrupted
+	default:
+		return osd.SenseFailure
+	}
+}

@@ -1,0 +1,376 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+)
+
+func testSpec(capacity int64) flash.Spec {
+	return flash.Spec{
+		CapacityBytes:  capacity,
+		ReadBandwidth:  500e6,
+		WriteBandwidth: 400e6,
+		ReadLatency:    50 * time.Microsecond,
+		WriteLatency:   60 * time.Microsecond,
+	}
+}
+
+func newStore(t testing.TB, pol policy.Policy, budget float64) *Store {
+	t.Helper()
+	s, err := New(Config{
+		Devices:          5,
+		DeviceSpec:       testSpec(4 << 20),
+		ChunkSize:        1024,
+		Policy:           pol,
+		RedundancyBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func oid(n uint64) osd.ObjectID {
+	return osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID + n}
+}
+
+func randBytes(seed int64, n int) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Devices: 0, ChunkSize: 64, Policy: policy.Uniform{}},
+		{Devices: 5, ChunkSize: 0, Policy: policy.Uniform{}},
+		{Devices: 5, ChunkSize: 64},
+		{Devices: 5, ChunkSize: 64, Policy: policy.Uniform{}, RedundancyBudget: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMetadataObjectsMaterialised(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.2}, 0.2)
+	if got := s.ObjectCount(); got != 3 {
+		t.Fatalf("ObjectCount = %d, want 3 metadata objects", got)
+	}
+	counts := s.CountByClass()
+	if counts[osd.ClassMetadata] != 3 {
+		t.Fatalf("metadata count = %d", counts[osd.ClassMetadata])
+	}
+	// Metadata is replicated: it survives 4 of 5 devices failing.
+	for i := 0; i < 4; i++ {
+		if err := s.FailDevice(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := osd.ObjectID{PID: osd.FirstPID, OID: osd.SuperBlockOID}
+	if _, _, _, err := s.Get(id); err != nil {
+		t.Fatalf("metadata unreadable with one survivor: %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	data := randBytes(1, 50_000)
+	cost, err := s.Put(oid(1), data, osd.ClassColdClean, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("put cost should be positive")
+	}
+	got, rcost, degraded, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	if degraded {
+		t.Fatal("healthy read reported degraded")
+	}
+	if rcost <= 0 {
+		t.Fatal("read cost should be positive")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, _, _, err := s.Get(oid(404)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Status(oid(404)) != StatusNotFound {
+		t.Fatal("status should be not-found")
+	}
+}
+
+func TestInvalidClassRejected(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, err := s.Put(oid(1), []byte("x"), osd.Class(9), false); err == nil {
+		t.Fatal("invalid class accepted on Put")
+	}
+	if _, err := s.Put(oid(1), []byte("x"), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetClass(oid(1), osd.Class(9)); err == nil {
+		t.Fatal("invalid class accepted on SetClass")
+	}
+	if _, err := s.Reclassify(oid(1), osd.Class(-1)); err == nil {
+		t.Fatal("invalid class accepted on Reclassify")
+	}
+}
+
+func TestOverwriteFreesOldSpace(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 0}, 0)
+	if _, err := s.Put(oid(1), randBytes(2, 100_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	used := s.UsedBytes()
+	if _, err := s.Put(oid(1), randBytes(3, 1_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedBytes() >= used {
+		t.Fatalf("overwrite did not free space: %d -> %d", used, s.UsedBytes())
+	}
+	got, _, _, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1_000 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestCacheFull(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 0}, 0)
+	// 5 devices × 4MiB = 20MiB raw. A 30MiB object cannot fit.
+	_, err := s.Put(oid(1), make([]byte, 30<<20), osd.ClassColdClean, false)
+	if !errors.Is(err, ErrCacheFull) {
+		t.Fatalf("err = %v, want ErrCacheFull", err)
+	}
+	if s.Has(oid(1)) {
+		t.Fatal("failed put left the object behind")
+	}
+}
+
+func TestRedundancyBudgetEnforced(t *testing.T) {
+	// Budget 1% of 20MiB = ~210KB of redundancy. A hot-clean object of
+	// 1MiB needs ~2/3 MiB of parity under 2-parity-of-5: rejected.
+	s := newStore(t, policy.Reo{ParityBudget: 0.01}, 0.01)
+	_, err := s.Put(oid(1), make([]byte, 1<<20), osd.ClassHotClean, false)
+	if !errors.Is(err, ErrRedundancyFull) {
+		t.Fatalf("err = %v, want ErrRedundancyFull", err)
+	}
+	// The same bytes as cold-clean (no redundancy) are fine.
+	if _, err := s.Put(oid(1), make([]byte, 1<<20), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty data bypasses the budget: always protected.
+	if _, err := s.Put(oid(2), make([]byte, 100_000), osd.ClassDirty, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetNotEnforcedForUniformPolicies(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 2}, 0.01)
+	if _, err := s.Put(oid(1), make([]byte, 1<<20), osd.ClassHotClean, false); err != nil {
+		t.Fatalf("uniform policy should ignore budget: %v", err)
+	}
+}
+
+func TestDegradedGet(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	data := randBytes(4, 20_000)
+	if _, err := s.Put(oid(1), data, osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDevice(2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, degraded, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded data mismatch")
+	}
+	if !degraded {
+		t.Fatal("degraded read not flagged")
+	}
+	if s.Status(oid(1)) != StatusDegraded {
+		t.Fatalf("status = %v", s.Status(oid(1)))
+	}
+}
+
+func TestCorruptedGetFreesObject(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 0}, 0)
+	if _, err := s.Put(oid(1), randBytes(5, 20_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailDevice(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Status(oid(1)) != StatusLost {
+		t.Fatalf("status = %v, want lost", s.Status(oid(1)))
+	}
+	if _, _, _, err := s.Get(oid(1)); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("err = %v, want ErrCorrupted", err)
+	}
+	if s.Has(oid(1)) {
+		t.Fatal("corrupted object not freed")
+	}
+	// Second get: plain not-found.
+	if _, _, _, err := s.Get(oid(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteAndMarkClean(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	if _, err := s.Put(oid(1), randBytes(6, 1_000), osd.ClassDirty, true); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Info(oid(1))
+	if err != nil || !info.Dirty {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+	if err := s.MarkClean(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = s.Info(oid(1))
+	if info.Dirty {
+		t.Fatal("MarkClean did not clear dirty flag")
+	}
+	if err := s.Delete(oid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(oid(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	if err := s.MarkClean(oid(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("MarkClean on missing err = %v", err)
+	}
+}
+
+func TestReclassifyReencodes(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	data := randBytes(7, 30_000)
+	if _, err := s.Put(oid(1), data, osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	before := s.OverheadBytes()
+	cost, err := s.Reclassify(oid(1), osd.ClassHotClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("re-encode should cost IO")
+	}
+	if s.OverheadBytes() <= before {
+		t.Fatal("hot-clean promotion should add parity overhead")
+	}
+	// Promoted object now survives two failures.
+	_ = s.FailDevice(0)
+	_ = s.FailDevice(1)
+	got, _, _, err := s.Get(oid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after promotion + failures")
+	}
+}
+
+func TestReclassifySameSchemeIsFree(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, err := s.Put(oid(1), randBytes(8, 1_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := s.Reclassify(oid(1), osd.ClassHotClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("uniform reclassify cost = %v, want 0 (same scheme)", cost)
+	}
+	info, _ := s.Info(oid(1))
+	if info.Class != osd.ClassHotClean {
+		t.Fatal("class label not updated")
+	}
+}
+
+func TestSpaceEfficiencyUniform(t *testing.T) {
+	// 1-parity on 5 devices: 4 data chunks per 5 chunks = 80% efficiency
+	// for full stripes.
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	// Write data that exactly fills stripes: 4 × 1024 bytes each.
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(oid(uint64(i)), randBytes(int64(i), 4*1024), osd.ClassColdClean, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Metadata objects are replicated even under Uniform? No: Uniform maps
+	// every class to 1-parity, including metadata, so efficiency is near
+	// 0.8 overall.
+	eff := s.SpaceEfficiency()
+	if eff < 0.78 || eff > 0.82 {
+		t.Fatalf("space efficiency = %v, want ~0.8", eff)
+	}
+}
+
+func TestControlSetIDAndQuery(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, err := s.Put(oid(1), randBytes(9, 2_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	sense, err := s.Control(osd.SetIDCommand{Object: oid(1), Class: osd.ClassHotClean}.Encode())
+	if err != nil || sense != osd.SenseOK {
+		t.Fatalf("SETID sense = %v, err = %v", sense, err)
+	}
+	info, _ := s.Info(oid(1))
+	if info.Class != osd.ClassHotClean {
+		t.Fatal("SETID did not apply class")
+	}
+	sense, err = s.Control(osd.QueryCommand{Object: oid(1), Op: osd.OpRead, Size: 2000}.Encode())
+	if err != nil || sense != osd.SenseOK {
+		t.Fatalf("QUERY sense = %v, err = %v", sense, err)
+	}
+	// Query for a missing object is unsuccessful.
+	sense, err = s.Control(osd.QueryCommand{Object: oid(99), Op: osd.OpRead, Size: 1}.Encode())
+	if err != nil || sense != osd.SenseFailure {
+		t.Fatalf("missing QUERY sense = %v, err = %v", sense, err)
+	}
+	// Malformed message.
+	if sense, err := s.Control([]byte("#JUNK#")); err == nil || sense != osd.SenseFailure {
+		t.Fatalf("junk sense = %v, err = %v", sense, err)
+	}
+	// SETID for a missing object fails.
+	if sense, _ := s.Control(osd.SetIDCommand{Object: oid(99), Class: osd.ClassDirty}.Encode()); sense != osd.SenseFailure {
+		t.Fatalf("missing SETID sense = %v", sense)
+	}
+}
+
+func TestControlQueryCorrupted(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 0}, 0)
+	if _, err := s.Put(oid(1), randBytes(10, 5_000), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.FailDevice(0)
+	sense, err := s.Control(osd.QueryCommand{Object: oid(1), Op: osd.OpRead, Size: 1}.Encode())
+	if err != nil || sense != osd.SenseCorrupted {
+		t.Fatalf("sense = %v, err = %v, want 0x63", sense, err)
+	}
+}

@@ -1,0 +1,717 @@
+// Package stripe implements Reo's stripe-based device management layer
+// (paper §IV.C.3, Figure 4). The flash array is managed in stripes: each
+// stripe has a unique ID and is divided into chunks mapped to devices
+// individually. Unlike RAID, a stripe may contain a *variable* number of
+// parity chunks — zero (no redundancy), one or more Reed–Solomon parity
+// chunks, or full replication of a single data chunk across the array —
+// and parity chunks rotate round-robin across devices for even wear.
+//
+// The manager provides the degraded-read path (reconstruct an unavailable
+// chunk from any m survivors), the rebuild path used by differentiated
+// recovery (restore missing chunks onto a replacement spare), and the
+// per-stripe space accounting (user bytes vs. redundancy bytes) that the
+// space-efficiency experiments report.
+package stripe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/erasure"
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/simclock"
+)
+
+// ID uniquely identifies a stripe within a manager.
+type ID uint64
+
+// Status summarises a stripe's health.
+type Status int
+
+// Stripe health states.
+const (
+	// StatusHealthy: every chunk is readable.
+	StatusHealthy Status = iota + 1
+	// StatusDegraded: some chunks are unavailable but the data is still
+	// recoverable from survivors.
+	StatusDegraded
+	// StatusLost: more chunks are gone than the redundancy level covers.
+	StatusLost
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusHealthy:
+		return "healthy"
+	case StatusDegraded:
+		return "degraded"
+	case StatusLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors returned by the manager.
+var (
+	ErrUnknownStripe  = errors.New("stripe: unknown stripe")
+	ErrUnrecoverable  = errors.New("stripe: data loss exceeds redundancy level")
+	ErrBadScheme      = errors.New("stripe: scheme invalid for array")
+	ErrNoAliveDevices = errors.New("stripe: no alive devices")
+)
+
+// encodeBandwidth models the CPU cost of Reed–Solomon encode/decode work,
+// charged per byte processed. Pure-Go table-driven GF(2^8) math sustains a
+// few GB/s; IO dominates, but the term keeps degraded reads strictly more
+// expensive than healthy ones.
+const encodeBandwidth = 3e9 // bytes/sec
+
+type stripeMeta struct {
+	scheme   policy.Scheme
+	chunkLen int
+	dataLen  int
+	// dataDevs and parityDevs give the device slot for each data/parity
+	// chunk, fixed at write time (parity kind).
+	dataDevs   []int
+	parityDevs []int
+	// replicaDevs lists devices holding copies (replicate kind).
+	replicaDevs []int
+}
+
+func (sm *stripeMeta) userBytes() int64 { return int64(sm.dataLen) }
+
+func (sm *stripeMeta) overheadBytes() int64 {
+	switch sm.scheme.Kind {
+	case policy.KindReplicate:
+		// One copy is the data; the rest is redundancy.
+		return int64(len(sm.replicaDevs)-1) * int64(sm.chunkLen)
+	default:
+		pad := int64(len(sm.dataDevs))*int64(sm.chunkLen) - int64(sm.dataLen)
+		return int64(len(sm.parityDevs))*int64(sm.chunkLen) + pad
+	}
+}
+
+// Manager allocates, reads, rebuilds, and frees stripes on a flash array.
+// All methods are safe for concurrent use.
+type Manager struct {
+	mu        sync.Mutex
+	array     *flash.Array
+	chunkSize int
+	rotate    bool
+	nextID    ID
+	stripes   map[ID]*stripeMeta
+	codecs    map[[2]int]*erasure.Codec
+	// repairedChunks counts chunks persisted by repair-on-read.
+	repairedChunks int64
+}
+
+// Option customises a Manager.
+type Option func(*Manager)
+
+// WithoutParityRotation pins parity chunks to the lowest-index devices
+// (classic dedicated-parity layout, RAID-4 style) instead of rotating them
+// round-robin. Reo rotates by default "for an even distribution" (§IV.C.3);
+// this option exists for the wear-levelling ablation.
+func WithoutParityRotation() Option {
+	return func(m *Manager) { m.rotate = false }
+}
+
+// NewManager returns a manager over the array using the given chunk size
+// (the paper's experiments use 64KB and 1MB).
+func NewManager(array *flash.Array, chunkSize int, opts ...Option) (*Manager, error) {
+	if array == nil {
+		return nil, errors.New("stripe: nil array")
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("stripe: chunk size %d must be positive", chunkSize)
+	}
+	m := &Manager{
+		array:     array,
+		chunkSize: chunkSize,
+		rotate:    true,
+		nextID:    1,
+		stripes:   make(map[ID]*stripeMeta),
+		codecs:    make(map[[2]int]*erasure.Codec),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+// ChunkSize returns the configured chunk size.
+func (m *Manager) ChunkSize() int { return m.chunkSize }
+
+// Array returns the underlying flash array.
+func (m *Manager) Array() *flash.Array { return m.array }
+
+func (m *Manager) codec(dataChunks, parityChunks int) (*erasure.Codec, error) {
+	key := [2]int{dataChunks, parityChunks}
+	if c, ok := m.codecs[key]; ok {
+		return c, nil
+	}
+	c, err := erasure.New(dataChunks, parityChunks)
+	if err != nil {
+		return nil, err
+	}
+	m.codecs[key] = c
+	return c, nil
+}
+
+// Write stores data under the given redundancy scheme and returns the IDs of
+// the stripes created (in data order) plus the virtual-time IO cost. Stripes
+// span the devices alive at write time; chunk writes within a stripe run in
+// parallel, and stripes are written back to back.
+func (m *Manager) Write(data []byte, scheme policy.Scheme) ([]ID, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alive := m.array.Alive()
+	if len(alive) == 0 {
+		return nil, 0, ErrNoAliveDevices
+	}
+	if !scheme.Valid(len(alive)) {
+		return nil, 0, fmt.Errorf("%w: %v on %d alive devices", ErrBadScheme, scheme, len(alive))
+	}
+	if scheme.Kind == policy.KindReplicate {
+		return m.writeReplicatedLocked(data, alive)
+	}
+	return m.writeParityLocked(data, scheme.ParityChunks, alive)
+}
+
+func (m *Manager) writeParityLocked(data []byte, k int, alive []int) ([]ID, time.Duration, error) {
+	dataChunks := len(alive) - k
+	perStripe := dataChunks * m.chunkSize
+	var (
+		ids   []ID
+		total time.Duration
+	)
+	// Zero-length objects still get one (empty) stripe so they remain
+	// addressable.
+	for off := 0; ; off += perStripe {
+		remaining := len(data) - off
+		if remaining <= 0 && off > 0 {
+			break
+		}
+		if remaining < 0 {
+			remaining = 0
+		}
+		stripeData := remaining
+		if stripeData > perStripe {
+			stripeData = perStripe
+		}
+		chunkLen := (stripeData + dataChunks - 1) / dataChunks
+		if chunkLen == 0 {
+			chunkLen = 1
+		}
+		id := m.nextID
+		m.nextID++
+		meta := &stripeMeta{
+			scheme:   policy.Parity(k),
+			chunkLen: chunkLen,
+			dataLen:  stripeData,
+		}
+		// Round-robin parity rotation: parity starts at slot id % n
+		// (or is pinned to slot 0 when rotation is disabled).
+		n := len(alive)
+		start := 0
+		if m.rotate {
+			start = int(uint64(id) % uint64(n))
+		}
+		for j := 0; j < k; j++ {
+			meta.parityDevs = append(meta.parityDevs, alive[(start+j)%n])
+		}
+		for i := 0; i < dataChunks; i++ {
+			meta.dataDevs = append(meta.dataDevs, alive[(start+k+i)%n])
+		}
+
+		chunks := make([][]byte, dataChunks)
+		for i := range chunks {
+			chunks[i] = make([]byte, chunkLen)
+			lo := off + i*chunkLen
+			if lo < off+stripeData {
+				hi := lo + chunkLen
+				if hi > off+stripeData {
+					hi = off + stripeData
+				}
+				copy(chunks[i], data[lo:hi])
+			}
+		}
+		var parity [][]byte
+		if k > 0 {
+			codec, err := m.codec(dataChunks, k)
+			if err != nil {
+				return nil, 0, err
+			}
+			parity, err = codec.Encode(chunks)
+			if err != nil {
+				return nil, 0, err
+			}
+			total += simclock.TransferTime(int64(dataChunks*chunkLen), encodeBandwidth)
+		}
+
+		var costs []time.Duration
+		writeChunk := func(dev int, payload []byte) error {
+			c, err := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			if err != nil {
+				return fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+			}
+			costs = append(costs, c)
+			return nil
+		}
+		for i, dev := range meta.dataDevs {
+			if err := writeChunk(dev, chunks[i]); err != nil {
+				m.rollbackLocked(id, meta)
+				m.freeLocked(ids)
+				return nil, 0, err
+			}
+		}
+		for j, dev := range meta.parityDevs {
+			if err := writeChunk(dev, parity[j]); err != nil {
+				m.rollbackLocked(id, meta)
+				m.freeLocked(ids)
+				return nil, 0, err
+			}
+		}
+		total += simclock.Parallel(costs...)
+		m.stripes[id] = meta
+		ids = append(ids, id)
+		if remaining <= perStripe {
+			break
+		}
+	}
+	return ids, total, nil
+}
+
+func (m *Manager) writeReplicatedLocked(data []byte, alive []int) ([]ID, time.Duration, error) {
+	var (
+		ids   []ID
+		total time.Duration
+	)
+	for off := 0; ; off += m.chunkSize {
+		remaining := len(data) - off
+		if remaining <= 0 && off > 0 {
+			break
+		}
+		if remaining < 0 {
+			remaining = 0
+		}
+		chunkLen := remaining
+		if chunkLen > m.chunkSize {
+			chunkLen = m.chunkSize
+		}
+		payload := data[off : off+chunkLen]
+		id := m.nextID
+		m.nextID++
+		meta := &stripeMeta{
+			scheme:      policy.ReplicateAll(),
+			chunkLen:    chunkLen,
+			dataLen:     chunkLen,
+			replicaDevs: append([]int(nil), alive...),
+		}
+		var costs []time.Duration
+		for _, dev := range alive {
+			c, err := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			if err != nil {
+				m.rollbackLocked(id, meta)
+				m.freeLocked(ids)
+				return nil, 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+			}
+			costs = append(costs, c)
+		}
+		total += simclock.Parallel(costs...)
+		m.stripes[id] = meta
+		ids = append(ids, id)
+		if remaining <= m.chunkSize {
+			break
+		}
+	}
+	return ids, total, nil
+}
+
+// rollbackLocked removes any chunks written for a stripe whose write failed
+// part way.
+func (m *Manager) rollbackLocked(id ID, meta *stripeMeta) {
+	devs := append(append(append([]int(nil), meta.dataDevs...), meta.parityDevs...), meta.replicaDevs...)
+	for _, dev := range devs {
+		// Best effort; failed devices reject deletes, which is fine.
+		_ = m.array.Device(dev).Delete(flash.ChunkAddr(id))
+	}
+}
+
+// Read returns the concatenated data of the given stripes trimmed to size
+// bytes, plus the virtual-time cost. Unavailable chunks are reconstructed
+// from survivors when the redundancy level allows (the degraded-read path);
+// otherwise Read returns ErrUnrecoverable.
+func (m *Manager) Read(ids []ID, size int) ([]byte, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]byte, 0, size)
+	var total time.Duration
+	for _, id := range ids {
+		data, cost, err := m.readStripeLocked(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, data...)
+		total += cost
+	}
+	if size > len(out) {
+		return nil, 0, fmt.Errorf("stripe: read size %d exceeds stored %d bytes", size, len(out))
+	}
+	return out[:size], total, nil
+}
+
+func (m *Manager) readStripeLocked(id ID) ([]byte, time.Duration, error) {
+	meta, ok := m.stripes[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	if meta.scheme.Kind == policy.KindReplicate {
+		return m.readReplicatedLocked(id, meta)
+	}
+	return m.readParityLocked(id, meta)
+}
+
+func (m *Manager) readReplicatedLocked(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+	// Prefer the rotation-selected primary, then fall back to any copy.
+	n := len(meta.replicaDevs)
+	start := int(uint64(id) % uint64(n))
+	for i := 0; i < n; i++ {
+		dev := meta.replicaDevs[(start+i)%n]
+		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		if err == nil {
+			return data, cost, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: stripe %d (all replicas gone)", ErrUnrecoverable, id)
+}
+
+func (m *Manager) readParityLocked(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+	dataChunks := len(meta.dataDevs)
+	k := len(meta.parityDevs)
+	fragments := make([][]byte, dataChunks+k)
+	var costs []time.Duration
+	var decodeCost time.Duration
+	missingData := 0
+	read := func(idx, dev int) bool {
+		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return false
+		}
+		fragments[idx] = data
+		costs = append(costs, cost)
+		return true
+	}
+	for i, dev := range meta.dataDevs {
+		if !read(i, dev) {
+			missingData++
+		}
+	}
+	if missingData > 0 {
+		// Degraded read: pull in parity chunks to reach m fragments.
+		available := dataChunks - missingData
+		for j, dev := range meta.parityDevs {
+			if available >= dataChunks {
+				break
+			}
+			if read(dataChunks+j, dev) {
+				available++
+			}
+		}
+		if available < dataChunks {
+			return nil, 0, fmt.Errorf("%w: stripe %d (%d of %d fragments)", ErrUnrecoverable, id, available, dataChunks)
+		}
+		codec, err := m.codec(dataChunks, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Reconstruct only the data chunks; drop parity we did not read.
+		if err := codec.Reconstruct(fragments); err != nil {
+			return nil, 0, fmt.Errorf("stripe %d: %w", id, err)
+		}
+		// Decoding happens after the parallel fan-out completes, so it
+		// is charged serially on top of the critical path.
+		decodeCost = simclock.TransferTime(int64(dataChunks*meta.chunkLen), encodeBandwidth)
+		// Repair-on-read (§IV.D: on-demand data is "restored first"):
+		// the reconstruction already produced the missing chunks, so if
+		// their home devices are healthy again (a spare was inserted),
+		// persist them now rather than leaving the work to background
+		// recovery. The write-back is off the response's critical path.
+		allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
+		var repairCosts []time.Duration
+		for idx, dev := range allDevs {
+			if fragments[idx] == nil || m.chunkPresent(id, dev) {
+				continue
+			}
+			d := m.array.Device(dev)
+			if d.State() != flash.StateHealthy {
+				continue
+			}
+			if cost, err := d.Write(flash.ChunkAddr(id), fragments[idx]); err == nil {
+				repairCosts = append(repairCosts, cost)
+				m.repairedChunks++
+			}
+		}
+		decodeCost += simclock.Parallel(repairCosts...)
+	}
+	out := make([]byte, 0, meta.dataLen)
+	for i := 0; i < dataChunks; i++ {
+		out = append(out, fragments[i]...)
+	}
+	return out[:meta.dataLen], simclock.Parallel(costs...) + decodeCost, nil
+}
+
+// Status reports the stripe's health without charging IO cost.
+func (m *Manager) Status(id ID) (Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.stripes[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	return m.statusLocked(id, meta), nil
+}
+
+func (m *Manager) statusLocked(id ID, meta *stripeMeta) Status {
+	if meta.scheme.Kind == policy.KindReplicate {
+		// Replication targets the whole array ("we replicate each
+		// metadata object across all the devices", §IV.C.4): the stripe
+		// is healthy only when every alive device holds a copy, so that
+		// spare insertion marks it degraded and recovery extends the
+		// replica set onto the new device.
+		have := 0
+		missingAlive := 0
+		for _, dev := range m.array.Alive() {
+			if m.chunkPresent(id, dev) {
+				have++
+			} else {
+				missingAlive++
+			}
+		}
+		switch {
+		case have == 0:
+			return StatusLost
+		case missingAlive > 0:
+			return StatusDegraded
+		default:
+			return StatusHealthy
+		}
+	}
+	missing := 0
+	for _, dev := range append(append([]int(nil), meta.dataDevs...), meta.parityDevs...) {
+		if !m.chunkPresent(id, dev) {
+			missing++
+		}
+	}
+	switch {
+	case missing == 0:
+		return StatusHealthy
+	case missing <= len(meta.parityDevs):
+		return StatusDegraded
+	default:
+		return StatusLost
+	}
+}
+
+func (m *Manager) chunkPresent(id ID, dev int) bool {
+	return m.array.Device(dev).Has(flash.ChunkAddr(id))
+}
+
+// Rebuild restores the stripe's missing chunks onto their home devices
+// (e.g. a freshly inserted spare). It returns the IO cost and the stripe's
+// status afterwards. Rebuilding a lost stripe returns ErrUnrecoverable;
+// rebuilding a healthy stripe is a cheap no-op.
+func (m *Manager) Rebuild(id ID) (time.Duration, Status, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.stripes[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	if meta.scheme.Kind == policy.KindReplicate {
+		return m.rebuildReplicatedLocked(id, meta)
+	}
+	return m.rebuildParityLocked(id, meta)
+}
+
+func (m *Manager) rebuildReplicatedLocked(id ID, meta *stripeMeta) (time.Duration, Status, error) {
+	var source []byte
+	var total time.Duration
+	for _, dev := range meta.replicaDevs {
+		if data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id)); err == nil {
+			source, total = data, cost
+			break
+		}
+	}
+	if source == nil {
+		return 0, StatusLost, fmt.Errorf("%w: stripe %d", ErrUnrecoverable, id)
+	}
+	// Re-replicate onto every alive device that lacks a copy — including
+	// replacement spares that were not members at write time — and fold
+	// them into the replica set.
+	var writeCosts []time.Duration
+	for _, dev := range m.array.Alive() {
+		if m.chunkPresent(id, dev) {
+			continue
+		}
+		cost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), source)
+		if err != nil {
+			return 0, StatusDegraded, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+		if !containsInt(meta.replicaDevs, dev) {
+			meta.replicaDevs = append(meta.replicaDevs, dev)
+		}
+	}
+	total += simclock.Parallel(writeCosts...)
+	return total, m.statusLocked(id, meta), nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) rebuildParityLocked(id ID, meta *stripeMeta) (time.Duration, Status, error) {
+	dataChunks := len(meta.dataDevs)
+	k := len(meta.parityDevs)
+	allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
+	fragments := make([][]byte, dataChunks+k)
+	var costs []time.Duration
+	present := 0
+	var missingIdx []int
+	for idx, dev := range allDevs {
+		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		if err != nil {
+			missingIdx = append(missingIdx, idx)
+			continue
+		}
+		fragments[idx] = data
+		costs = append(costs, cost)
+		present++
+	}
+	if len(missingIdx) == 0 {
+		return simclock.Parallel(costs...), StatusHealthy, nil
+	}
+	if present < dataChunks {
+		return 0, StatusLost, fmt.Errorf("%w: stripe %d", ErrUnrecoverable, id)
+	}
+	codec, err := m.codec(dataChunks, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := codec.Reconstruct(fragments); err != nil {
+		return 0, 0, fmt.Errorf("stripe %d: %w", id, err)
+	}
+	total := simclock.Parallel(costs...) + simclock.TransferTime(int64(dataChunks*meta.chunkLen), encodeBandwidth)
+	var writeCosts []time.Duration
+	for _, idx := range missingIdx {
+		dev := allDevs[idx]
+		d := m.array.Device(dev)
+		if d.State() != flash.StateHealthy {
+			continue // home device still failed; chunk stays missing
+		}
+		cost, err := d.Write(flash.ChunkAddr(id), fragments[idx])
+		if err != nil {
+			return 0, StatusDegraded, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+	}
+	total += simclock.Parallel(writeCosts...)
+	return total, m.statusLocked(id, meta), nil
+}
+
+// Free releases the stripes' chunks and forgets their metadata. Chunks on
+// failed devices are already gone; freeing is best-effort per device.
+func (m *Manager) Free(ids []ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.freeLocked(ids)
+}
+
+func (m *Manager) freeLocked(ids []ID) {
+	for _, id := range ids {
+		meta, ok := m.stripes[id]
+		if !ok {
+			continue
+		}
+		m.rollbackLocked(id, meta)
+		delete(m.stripes, id)
+	}
+}
+
+// Info describes a stripe for accounting and inspection.
+type Info struct {
+	ID       ID
+	Scheme   policy.Scheme
+	ChunkLen int
+	DataLen  int
+	// UserBytes is the logical data stored; OverheadBytes is parity,
+	// replica, and padding overhead.
+	UserBytes     int64
+	OverheadBytes int64
+}
+
+// Describe returns the stripe's accounting info.
+func (m *Manager) Describe(id ID) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.stripes[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	return Info{
+		ID:            id,
+		Scheme:        meta.scheme,
+		ChunkLen:      meta.chunkLen,
+		DataLen:       meta.dataLen,
+		UserBytes:     meta.userBytes(),
+		OverheadBytes: meta.overheadBytes(),
+	}, nil
+}
+
+// Totals returns aggregate user and overhead bytes across all live stripes.
+func (m *Manager) Totals() (userBytes, overheadBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, meta := range m.stripes {
+		userBytes += meta.userBytes()
+		overheadBytes += meta.overheadBytes()
+	}
+	return userBytes, overheadBytes
+}
+
+// RepairedChunks returns the number of chunks persisted by repair-on-read.
+func (m *Manager) RepairedChunks() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repairedChunks
+}
+
+// StripeCount returns the number of live stripes.
+func (m *Manager) StripeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.stripes)
+}
+
+// IDs returns all live stripe IDs in ascending order (for tests and tools).
+func (m *Manager) IDs() []ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ID, 0, len(m.stripes))
+	for id := range m.stripes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

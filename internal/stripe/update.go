@@ -1,0 +1,249 @@
+package stripe
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reo-cache/reo/internal/erasure"
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/simclock"
+)
+
+// This file implements in-place partial updates of striped data — the
+// write path where the paper's two parity-maintenance strategies (§II.B)
+// apply:
+//
+//   - direct parity-updating: re-read the sibling data chunks and recompute
+//     parity from scratch (m-1 chunk reads);
+//   - delta parity-updating: read the old data chunk and old parity, apply
+//     the delta (1+k chunk reads).
+//
+// Per the paper, "we choose the encoding method that incurs the least disk
+// reads": a single-chunk change uses whichever strategy the codec reports
+// as cheaper; multi-chunk changes re-encode directly (their sibling reads
+// amortise across the changed chunks).
+
+// UpdateRange overwrites [offset, offset+len(data)) of the object stored in
+// the given stripes (in data order), updating parity in place. It returns
+// the virtual-time IO cost. The range must lie within the stored data.
+func (m *Manager) UpdateRange(ids []ID, offset int, data []byte) (time.Duration, error) {
+	if offset < 0 {
+		return 0, fmt.Errorf("stripe: negative offset %d", offset)
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var total time.Duration
+	pos := 0 // cumulative data offset across stripes
+	remaining := data
+	writeOff := offset
+	for _, id := range ids {
+		meta, ok := m.stripes[id]
+		if !ok {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+		}
+		stripeEnd := pos + meta.dataLen
+		if writeOff < stripeEnd && len(remaining) > 0 {
+			local := writeOff - pos
+			n := meta.dataLen - local
+			if n > len(remaining) {
+				n = len(remaining)
+			}
+			cost, err := m.updateStripeLocked(id, meta, local, remaining[:n])
+			if err != nil {
+				return 0, err
+			}
+			total += cost
+			remaining = remaining[n:]
+			writeOff += n
+		}
+		pos = stripeEnd
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	if len(remaining) > 0 {
+		return 0, fmt.Errorf("stripe: update range [%d,%d) exceeds stored data (%d bytes)",
+			offset, offset+len(data), pos)
+	}
+	return total, nil
+}
+
+func (m *Manager) updateStripeLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+	if meta.scheme.Kind == policy.KindReplicate {
+		return m.updateReplicatedLocked(id, meta, local, data)
+	}
+	return m.updateParityStripeLocked(id, meta, local, data)
+}
+
+func (m *Manager) updateReplicatedLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+	// Read any live copy, splice, rewrite every live copy.
+	chunk, readCost, err := m.readReplicatedLocked(id, meta)
+	if err != nil {
+		return 0, err
+	}
+	copy(chunk[local:], data)
+	var writeCosts []time.Duration
+	for _, dev := range meta.replicaDevs {
+		d := m.array.Device(dev)
+		if d.State() != flash.StateHealthy {
+			continue
+		}
+		cost, err := d.Write(flash.ChunkAddr(id), chunk)
+		if err != nil {
+			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+	}
+	return readCost + simclock.Parallel(writeCosts...), nil
+}
+
+func (m *Manager) updateParityStripeLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+	dataChunks := len(meta.dataDevs)
+	k := len(meta.parityDevs)
+	firstChunk := local / meta.chunkLen
+	lastChunk := (local + len(data) - 1) / meta.chunkLen
+	changed := lastChunk - firstChunk + 1
+
+	codec, err := m.codec(dataChunks, k)
+	if err != nil {
+		return 0, err
+	}
+
+	if k == 0 {
+		// No parity to maintain: read-modify-write the touched chunks.
+		return m.updateChunksNoParityLocked(id, meta, local, data, firstChunk, lastChunk)
+	}
+	if changed == 1 && codec.ChooseUpdateStrategy() == erasure.DeltaParityUpdate {
+		return m.updateDeltaLocked(id, meta, codec, local, data, firstChunk)
+	}
+	return m.updateDirectLocked(id, meta, codec, local, data)
+}
+
+func (m *Manager) updateChunksNoParityLocked(id ID, meta *stripeMeta, local int, data []byte, firstChunk, lastChunk int) (time.Duration, error) {
+	var costs []time.Duration
+	off := local
+	remaining := data
+	for ci := firstChunk; ci <= lastChunk; ci++ {
+		dev := meta.dataDevs[ci]
+		old, rcost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return 0, fmt.Errorf("%w: stripe %d chunk %d", ErrUnrecoverable, id, ci)
+		}
+		lo := off - ci*meta.chunkLen
+		n := meta.chunkLen - lo
+		if n > len(remaining) {
+			n = len(remaining)
+		}
+		copy(old[lo:], remaining[:n])
+		wcost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), old)
+		if err != nil {
+			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		}
+		costs = append(costs, rcost+wcost)
+		off += n
+		remaining = remaining[n:]
+	}
+	return simclock.Parallel(costs...), nil
+}
+
+// updateDeltaLocked applies delta parity-updating for a single changed
+// chunk: read the old chunk and the old parity, compute the new parity from
+// the delta, write the new chunk and parity.
+func (m *Manager) updateDeltaLocked(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte, chunkIdx int) (time.Duration, error) {
+	dev := meta.dataDevs[chunkIdx]
+	oldChunk, rcost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+	if err != nil {
+		// The chunk itself is unavailable: fall back to the direct path,
+		// which reconstructs from survivors.
+		return m.updateDirectLocked(id, meta, codec, local, data)
+	}
+	readCosts := []time.Duration{rcost}
+	oldParity := make([][]byte, len(meta.parityDevs))
+	for j, pdev := range meta.parityDevs {
+		p, cost, err := m.array.Device(pdev).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return m.updateDirectLocked(id, meta, codec, local, data)
+		}
+		oldParity[j] = p
+		readCosts = append(readCosts, cost)
+	}
+
+	newChunk := append([]byte(nil), oldChunk...)
+	copy(newChunk[local-chunkIdx*meta.chunkLen:], data)
+	newParity, err := codec.UpdateParityDelta(chunkIdx, oldChunk, newChunk, oldParity)
+	if err != nil {
+		return 0, fmt.Errorf("stripe %d: %w", id, err)
+	}
+	encodeCost := simclock.TransferTime(int64(meta.chunkLen), encodeBandwidth)
+
+	var writeCosts []time.Duration
+	wcost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), newChunk)
+	if err != nil {
+		return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+	}
+	writeCosts = append(writeCosts, wcost)
+	for j, pdev := range meta.parityDevs {
+		cost, err := m.array.Device(pdev).Write(flash.ChunkAddr(id), newParity[j])
+		if err != nil {
+			return 0, fmt.Errorf("stripe %d device %d: %w", id, pdev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+	}
+	return simclock.Parallel(readCosts...) + encodeCost + simclock.Parallel(writeCosts...), nil
+}
+
+// updateDirectLocked applies direct parity-updating: read the full stripe
+// (reconstructing if degraded), splice the new bytes, re-encode, and write
+// back the changed chunks and all parity.
+func (m *Manager) updateDirectLocked(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte) (time.Duration, error) {
+	stripeData, readCost, err := m.readParityLocked(id, meta)
+	if err != nil {
+		return 0, err
+	}
+	// Splice and re-chunk.
+	buf := make([]byte, len(meta.dataDevs)*meta.chunkLen)
+	copy(buf, stripeData)
+	copy(buf[local:], data)
+	chunks := make([][]byte, len(meta.dataDevs))
+	for i := range chunks {
+		chunks[i] = buf[i*meta.chunkLen : (i+1)*meta.chunkLen]
+	}
+	parity, err := codec.Encode(chunks)
+	if err != nil {
+		return 0, fmt.Errorf("stripe %d: %w", id, err)
+	}
+	encodeCost := simclock.TransferTime(int64(len(buf)), encodeBandwidth)
+
+	firstChunk := local / meta.chunkLen
+	lastChunk := (local + len(data) - 1) / meta.chunkLen
+	var writeCosts []time.Duration
+	for ci := firstChunk; ci <= lastChunk; ci++ {
+		dev := meta.dataDevs[ci]
+		d := m.array.Device(dev)
+		if d.State() != flash.StateHealthy {
+			continue // chunk stays missing; parity below covers it
+		}
+		cost, err := d.Write(flash.ChunkAddr(id), chunks[ci])
+		if err != nil {
+			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+	}
+	for j, pdev := range meta.parityDevs {
+		d := m.array.Device(pdev)
+		if d.State() != flash.StateHealthy {
+			continue
+		}
+		cost, err := d.Write(flash.ChunkAddr(id), parity[j])
+		if err != nil {
+			return 0, fmt.Errorf("stripe %d device %d: %w", id, pdev, err)
+		}
+		writeCosts = append(writeCosts, cost)
+	}
+	return readCost + encodeCost + simclock.Parallel(writeCosts...), nil
+}

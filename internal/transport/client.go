@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+)
+
+// Client is the initiator side of the protocol: a synchronous
+// request/response channel to a target. It is safe for concurrent use;
+// requests are serialised over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Dial connects to a target address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, EncodeRequest(req)); err != nil {
+		return Response{}, fmt.Errorf("transport: send %v: %w", req.Op, err)
+	}
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return Response{}, fmt.Errorf("transport: recv %v: %w", req.Op, err)
+	}
+	return DecodeResponse(frame)
+}
+
+// senseError converts a non-OK sense code back into the store's error
+// vocabulary so initiator-side code can errors.Is on it.
+func senseError(resp Response) error {
+	switch resp.Sense {
+	case osd.SenseOK:
+		return nil
+	case osd.SenseCorrupted:
+		return fmt.Errorf("%w: %s", store.ErrCorrupted, resp.Message)
+	case osd.SenseCacheFull:
+		return fmt.Errorf("%w: %s", store.ErrCacheFull, resp.Message)
+	case osd.SenseRedundancyFull:
+		return fmt.Errorf("%w: %s", store.ErrRedundancyFull, resp.Message)
+	default:
+		if resp.Message == "" {
+			return fmt.Errorf("transport: target sense %v", resp.Sense)
+		}
+		return errors.New(resp.Message)
+	}
+}
+
+// Put writes an object with the given class.
+func (c *Client) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpPut, Object: id, Class: class, Dirty: dirty, Payload: data})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Cost, senseError(resp)
+}
+
+// Get reads an object.
+func (c *Client) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Object: id})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := senseError(resp); err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Payload, resp.Cost, resp.Degraded, nil
+}
+
+// Delete removes an object.
+func (c *Client) Delete(id osd.ObjectID) error {
+	resp, err := c.roundTrip(Request{Op: OpDelete, Object: id})
+	if err != nil {
+		return err
+	}
+	return senseError(resp)
+}
+
+// Control writes a raw message to the communication object and returns the
+// target's sense code (the sense itself is the answer; no error mapping).
+func (c *Client) Control(msg osd.ControlMessage) (osd.SenseCode, error) {
+	resp, err := c.roundTrip(Request{Op: OpControl, Payload: msg.Encode()})
+	if err != nil {
+		return osd.SenseFailure, err
+	}
+	return resp.Sense, nil
+}
+
+// Status classifies an object per §IV.D.
+func (c *Client) Status(id osd.ObjectID) (store.ObjectStatus, error) {
+	resp, err := c.roundTrip(Request{Op: OpStatus, Object: id})
+	if err != nil {
+		return 0, err
+	}
+	if err := senseError(resp); err != nil {
+		return 0, err
+	}
+	return store.ObjectStatus(resp.Status), nil
+}
+
+// Stats snapshots the target.
+func (c *Client) Stats() (StatsBody, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return StatsBody{}, err
+	}
+	if err := senseError(resp); err != nil {
+		return StatsBody{}, err
+	}
+	return resp.Stats, nil
+}
+
+// FailDevice injects a device failure (the shootdown channel of §VI.C).
+func (c *Client) FailDevice(idx int) error {
+	resp, err := c.roundTrip(Request{Op: OpFailDevice, Index: int32(idx)})
+	if err != nil {
+		return err
+	}
+	return senseError(resp)
+}
+
+// InsertSpare installs a blank spare and starts recovery, returning the
+// rebuild queue length.
+func (c *Client) InsertSpare(idx int) (int, error) {
+	resp, err := c.roundTrip(Request{Op: OpInsertSpare, Index: int32(idx)})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Value), senseError(resp)
+}
+
+// RecoverStep rebuilds up to n objects, returning (rebuilt, done).
+func (c *Client) RecoverStep(n int) (int, bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpRecoverStep, Index: int32(n)})
+	if err != nil {
+		return 0, false, err
+	}
+	return int(resp.Value), resp.Done, senseError(resp)
+}
+
+// MarkClean clears the dirty flag of an object after a flush.
+func (c *Client) MarkClean(id osd.ObjectID) error {
+	resp, err := c.roundTrip(Request{Op: OpMarkClean, Object: id})
+	if err != nil {
+		return err
+	}
+	return senseError(resp)
+}
+
+// Reclassify relabels (and possibly re-encodes) an object.
+func (c *Client) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpReclassify, Object: id, Class: class})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Cost, senseError(resp)
+}
+
+// WriteRange applies a partial in-place update, marking the object dirty.
+func (c *Client) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpWriteRange, Object: id, Offset: offset, Payload: data})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Cost, senseError(resp)
+}
+
+// Policy fetches the target's redundancy policy.
+func (c *Client) Policy() (policy.Policy, error) {
+	resp, err := c.roundTrip(Request{Op: OpPolicy})
+	if err != nil {
+		return nil, err
+	}
+	if err := senseError(resp); err != nil {
+		return nil, err
+	}
+	return policyFromWire(resp.Status, resp.Value), nil
+}

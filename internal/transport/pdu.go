@@ -1,0 +1,290 @@
+// Package transport implements the initiator↔target wire protocol that
+// stands in for the paper's iSCSI transport (§II.A, §V): the cache manager
+// (initiator) talks to the object storage target over a stream connection
+// using length-prefixed binary PDUs. The protocol carries object IO (put,
+// get, delete), the control-object writes (#SETID#/#QUERY# messages,
+// answered with Table III sense codes), and the administrative operations
+// the paper's evaluation scripts perform out of band (device shootdown,
+// spare insertion, recovery stepping).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+// Op identifies a request type.
+type Op byte
+
+// Protocol operations.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpDelete
+	OpControl
+	OpStatus
+	OpStats
+	OpFailDevice
+	OpInsertSpare
+	OpRecoverStep
+	OpMarkClean
+	OpReclassify
+	OpPolicy
+	OpWriteRange
+)
+
+// String returns the op name.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpControl:
+		return "control"
+	case OpStatus:
+		return "status"
+	case OpStats:
+		return "stats"
+	case OpFailDevice:
+		return "fail-device"
+	case OpInsertSpare:
+		return "insert-spare"
+	case OpRecoverStep:
+		return "recover-step"
+	case OpMarkClean:
+		return "mark-clean"
+	case OpReclassify:
+		return "reclassify"
+	case OpPolicy:
+		return "policy"
+	case OpWriteRange:
+		return "write-range"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// maxPDUSize bounds a frame to keep a malformed peer from ballooning
+// memory.
+const maxPDUSize = 256 << 20
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	ErrShortFrame    = errors.New("transport: frame too short for its op")
+	ErrUnknownOp     = errors.New("transport: unknown opcode")
+)
+
+// Request is a decoded request PDU.
+type Request struct {
+	Op     Op
+	Object osd.ObjectID
+	// Class and Dirty apply to OpPut.
+	Class osd.Class
+	Dirty bool
+	// Payload is the object content (OpPut) or raw control message
+	// (OpControl).
+	Payload []byte
+	// Index is the device slot (OpFailDevice/OpInsertSpare) or the step
+	// budget (OpRecoverStep).
+	Index int32
+	// Offset is the byte offset for OpWriteRange.
+	Offset int64
+}
+
+// Response is a decoded response PDU.
+type Response struct {
+	// Sense is the Table III status.
+	Sense osd.SenseCode
+	// Message carries an error description when Sense != SenseOK.
+	Message string
+	// Degraded applies to OpGet.
+	Degraded bool
+	// Payload is the object content (OpGet).
+	Payload []byte
+	// Status is the object status (OpStatus); Value carries op-specific
+	// counters (queued objects, rebuilt objects, ...).
+	Status int32
+	Value  int64
+	// Done applies to OpRecoverStep.
+	Done bool
+	// Cost is the virtual-time cost the target charged (reported so the
+	// initiator can account it on its own clock).
+	Cost time.Duration
+	// Stats applies to OpStats.
+	Stats StatsBody
+}
+
+// StatsBody is the OpStats response payload.
+type StatsBody struct {
+	Objects         int64
+	UsedBytes       int64
+	RawCapacity     int64
+	SpaceEfficiency float64
+	AliveDevices    int32
+	TotalDevices    int32
+	RecoveryActive  bool
+	RecoveryQueue   int32
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxPDUSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxPDUSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// EncodeRequest renders a request PDU body.
+func EncodeRequest(req Request) []byte {
+	buf := make([]byte, 0, 32+len(req.Payload))
+	buf = append(buf, byte(req.Op))
+	buf = binary.BigEndian.AppendUint64(buf, req.Object.PID)
+	buf = binary.BigEndian.AppendUint64(buf, req.Object.OID)
+	buf = append(buf, byte(req.Class))
+	buf = append(buf, boolByte(req.Dirty))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Index))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Offset))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Payload)))
+	buf = append(buf, req.Payload...)
+	return buf
+}
+
+// DecodeRequest parses a request PDU body.
+func DecodeRequest(body []byte) (Request, error) {
+	const fixed = 1 + 8 + 8 + 1 + 1 + 4 + 8 + 4
+	if len(body) < fixed {
+		return Request{}, ErrShortFrame
+	}
+	op := Op(body[0])
+	if op < OpPut || op > OpWriteRange {
+		return Request{}, fmt.Errorf("%w: %d", ErrUnknownOp, body[0])
+	}
+	req := Request{
+		Op: op,
+		Object: osd.ObjectID{
+			PID: binary.BigEndian.Uint64(body[1:9]),
+			OID: binary.BigEndian.Uint64(body[9:17]),
+		},
+		Class:  osd.Class(body[17]),
+		Dirty:  body[18] != 0,
+		Index:  int32(binary.BigEndian.Uint32(body[19:23])),
+		Offset: int64(binary.BigEndian.Uint64(body[23:31])),
+	}
+	payloadLen := binary.BigEndian.Uint32(body[31:35])
+	if int(payloadLen) != len(body)-fixed {
+		return Request{}, fmt.Errorf("%w: payload length %d, frame remainder %d",
+			ErrShortFrame, payloadLen, len(body)-fixed)
+	}
+	if payloadLen > 0 {
+		req.Payload = make([]byte, payloadLen)
+		copy(req.Payload, body[fixed:])
+	}
+	return req, nil
+}
+
+// EncodeResponse renders a response PDU body.
+func EncodeResponse(resp Response) []byte {
+	msg := []byte(resp.Message)
+	buf := make([]byte, 0, 80+len(msg)+len(resp.Payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(resp.Sense)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	buf = append(buf, boolByte(resp.Degraded), boolByte(resp.Done))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Status))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Value))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Cost))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.Objects))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.UsedBytes))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.RawCapacity))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(resp.Stats.SpaceEfficiency))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.AliveDevices))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.TotalDevices))
+	buf = append(buf, boolByte(resp.Stats.RecoveryActive))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.RecoveryQueue))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Payload)))
+	buf = append(buf, resp.Payload...)
+	return buf
+}
+
+// DecodeResponse parses a response PDU body.
+func DecodeResponse(body []byte) (Response, error) {
+	if len(body) < 6 {
+		return Response{}, ErrShortFrame
+	}
+	resp := Response{Sense: osd.SenseCode(int32(binary.BigEndian.Uint32(body[0:4])))}
+	msgLen := int(binary.BigEndian.Uint16(body[4:6]))
+	rest := body[6:]
+	if len(rest) < msgLen {
+		return Response{}, ErrShortFrame
+	}
+	resp.Message = string(rest[:msgLen])
+	rest = rest[msgLen:]
+	const fixed = 1 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1 + 4 + 4
+	if len(rest) < fixed {
+		return Response{}, ErrShortFrame
+	}
+	resp.Degraded = rest[0] != 0
+	resp.Done = rest[1] != 0
+	resp.Status = int32(binary.BigEndian.Uint32(rest[2:6]))
+	resp.Value = int64(binary.BigEndian.Uint64(rest[6:14]))
+	resp.Cost = time.Duration(binary.BigEndian.Uint64(rest[14:22]))
+	resp.Stats.Objects = int64(binary.BigEndian.Uint64(rest[22:30]))
+	resp.Stats.UsedBytes = int64(binary.BigEndian.Uint64(rest[30:38]))
+	resp.Stats.RawCapacity = int64(binary.BigEndian.Uint64(rest[38:46]))
+	resp.Stats.SpaceEfficiency = math.Float64frombits(binary.BigEndian.Uint64(rest[46:54]))
+	resp.Stats.AliveDevices = int32(binary.BigEndian.Uint32(rest[54:58]))
+	resp.Stats.TotalDevices = int32(binary.BigEndian.Uint32(rest[58:62]))
+	resp.Stats.RecoveryActive = rest[62] != 0
+	resp.Stats.RecoveryQueue = int32(binary.BigEndian.Uint32(rest[63:67]))
+	payloadLen := binary.BigEndian.Uint32(rest[67:71])
+	rest = rest[71:]
+	if int(payloadLen) != len(rest) {
+		return Response{}, fmt.Errorf("%w: payload length %d, remainder %d",
+			ErrShortFrame, payloadLen, len(rest))
+	}
+	if payloadLen > 0 {
+		resp.Payload = make([]byte, payloadLen)
+		copy(resp.Payload, rest)
+	}
+	return resp, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+)
+
+// RemoteTarget adapts a Client into the cache manager's Target interface,
+// giving the full osd-initiator/osd-target split of the paper: the cache
+// manager runs on one host and drives the flash-array target over the
+// network.
+//
+// The policy and raw capacity are fetched once at construction (they are
+// immutable for a target's lifetime). Device health is polled lazily: it is
+// refreshed at most every statsRefreshOps operations, so failure detection
+// lags by a bounded number of requests — the same observability the paper's
+// initiator has through its query commands.
+type RemoteTarget struct {
+	client *Client
+	pol    policy.Policy
+
+	mu          sync.Mutex
+	rawCapacity int64
+	alive       int
+	devices     int
+	opsSince    int
+}
+
+var _ cache.Target = (*RemoteTarget)(nil)
+
+// statsRefreshOps bounds how stale the cached device-health snapshot can
+// get, in operations.
+const statsRefreshOps = 32
+
+// NewRemoteTarget performs the initial handshake (policy + stats) and
+// returns the adapter.
+func NewRemoteTarget(client *Client) (*RemoteTarget, error) {
+	pol, err := client.Policy()
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetch policy: %w", err)
+	}
+	rt := &RemoteTarget{client: client, pol: pol}
+	if err := rt.refreshStats(); err != nil {
+		return nil, fmt.Errorf("transport: fetch stats: %w", err)
+	}
+	return rt, nil
+}
+
+func (rt *RemoteTarget) refreshStats() error {
+	stats, err := rt.client.Stats()
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.rawCapacity = stats.RawCapacity
+	rt.alive = int(stats.AliveDevices)
+	rt.devices = int(stats.TotalDevices)
+	rt.opsSince = 0
+	return nil
+}
+
+// tick counts an operation and refreshes the health snapshot when due.
+func (rt *RemoteTarget) tick() {
+	rt.mu.Lock()
+	rt.opsSince++
+	due := rt.opsSince >= statsRefreshOps
+	rt.mu.Unlock()
+	if due {
+		// Best effort; a failed refresh keeps the previous snapshot.
+		_ = rt.refreshStats()
+	}
+}
+
+// Put implements cache.Target.
+func (rt *RemoteTarget) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	rt.tick()
+	return rt.client.Put(id, data, class, dirty)
+}
+
+// Get implements cache.Target.
+func (rt *RemoteTarget) Get(id osd.ObjectID) ([]byte, time.Duration, bool, error) {
+	rt.tick()
+	return rt.client.Get(id)
+}
+
+// Delete implements cache.Target.
+func (rt *RemoteTarget) Delete(id osd.ObjectID) error {
+	rt.tick()
+	return rt.client.Delete(id)
+}
+
+// WriteRange implements cache.Target.
+func (rt *RemoteTarget) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+	rt.tick()
+	return rt.client.WriteRange(id, offset, data)
+}
+
+// MarkClean implements cache.Target.
+func (rt *RemoteTarget) MarkClean(id osd.ObjectID) error {
+	rt.tick()
+	return rt.client.MarkClean(id)
+}
+
+// Reclassify implements cache.Target.
+func (rt *RemoteTarget) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
+	rt.tick()
+	return rt.client.Reclassify(id, class)
+}
+
+// Policy implements cache.Target.
+func (rt *RemoteTarget) Policy() policy.Policy { return rt.pol }
+
+// RawCapacity implements cache.Target.
+func (rt *RemoteTarget) RawCapacity() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.rawCapacity
+}
+
+// AliveDevices implements cache.Target.
+func (rt *RemoteTarget) AliveDevices() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.alive
+}
+
+// Devices implements cache.Target.
+func (rt *RemoteTarget) Devices() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.devices
+}
+
+// Refresh forces an immediate device-health refresh (e.g. after the
+// operator injects a failure in a test).
+func (rt *RemoteTarget) Refresh() error { return rt.refreshStats() }

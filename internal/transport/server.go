@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+)
+
+// Server exposes an object storage target over a net.Listener, serving each
+// connection on its own goroutine. It is the network face of the paper's
+// user-level osd-target process.
+type Server struct {
+	st *store.Store
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the store on the listener. Close shuts it down.
+func NewServer(st *store.Store, ln net.Listener) *Server {
+	s := &Server{
+		st:    st,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes live connections, and waits for handlers to
+// drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// HandleConn serves a single pre-established connection until it closes
+// (used with net.Pipe in tests and by in-process wiring).
+func (s *Server) HandleConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	s.handleConn(conn)
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(frame)
+		var resp Response
+		if err != nil {
+			resp = Response{Sense: osd.SenseFailure, Message: err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := writeFrame(conn, EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPut:
+		cost, err := s.st.Put(req.Object, req.Payload, req.Class, req.Dirty)
+		return senseResponse(err, Response{Cost: cost})
+	case OpGet:
+		data, cost, degraded, err := s.st.Get(req.Object)
+		return senseResponse(err, Response{Payload: data, Degraded: degraded, Cost: cost})
+	case OpDelete:
+		return senseResponse(s.st.Delete(req.Object), Response{})
+	case OpControl:
+		sense, err := s.st.Control(req.Payload)
+		resp := Response{Sense: sense}
+		if err != nil {
+			resp.Message = err.Error()
+		}
+		return resp
+	case OpStatus:
+		return Response{Sense: osd.SenseOK, Status: int32(s.st.Status(req.Object))}
+	case OpStats:
+		return Response{Sense: osd.SenseOK, Stats: s.statsBody()}
+	case OpFailDevice:
+		return senseResponse(s.st.FailDevice(int(req.Index)), Response{})
+	case OpInsertSpare:
+		queued, err := s.st.InsertSpare(int(req.Index))
+		return senseResponse(err, Response{Value: int64(queued)})
+	case OpRecoverStep:
+		cost, rebuilt, done, err := s.st.RecoverStep(int(req.Index))
+		return senseResponse(err, Response{Value: int64(rebuilt), Done: done, Cost: cost})
+	case OpMarkClean:
+		return senseResponse(s.st.MarkClean(req.Object), Response{})
+	case OpReclassify:
+		cost, err := s.st.Reclassify(req.Object, req.Class)
+		return senseResponse(err, Response{Cost: cost})
+	case OpPolicy:
+		kind, param := describePolicy(s.st.Policy())
+		return Response{Sense: osd.SenseOK, Status: kind, Value: param, Message: s.st.Policy().Name()}
+	case OpWriteRange:
+		cost, err := s.st.WriteRange(req.Object, req.Offset, req.Payload)
+		return senseResponse(err, Response{Cost: cost})
+	default:
+		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}
+	}
+}
+
+// statsBody snapshots the target for OpStats.
+func (s *Server) statsBody() StatsBody {
+	return StatsBody{
+		Objects:         int64(s.st.ObjectCount()),
+		UsedBytes:       s.st.UsedBytes(),
+		RawCapacity:     s.st.RawCapacity(),
+		SpaceEfficiency: s.st.SpaceEfficiency(),
+		AliveDevices:    int32(s.st.Array().AliveCount()),
+		TotalDevices:    int32(s.st.Array().N()),
+		RecoveryActive:  s.st.RecoveryActive(),
+		RecoveryQueue:   int32(s.st.RecoveryQueueLen()),
+	}
+}
+
+// Policy kind identifiers carried by OpPolicy responses.
+const (
+	policyKindReo             = 1
+	policyKindUniform         = 2
+	policyKindFullReplication = 3
+)
+
+// describePolicy flattens a policy into (kind, parameter) for the wire: the
+// parameter is the parity budget in parts-per-million for Reo, or the
+// parity-chunk count for uniform protection.
+func describePolicy(p policy.Policy) (kind int32, param int64) {
+	switch pol := p.(type) {
+	case policy.Reo:
+		return policyKindReo, int64(pol.ParityBudget * 1e6)
+	case policy.Uniform:
+		return policyKindUniform, int64(pol.ParityChunks)
+	default:
+		return policyKindFullReplication, 0
+	}
+}
+
+// policyFromWire reverses describePolicy.
+func policyFromWire(kind int32, param int64) policy.Policy {
+	switch kind {
+	case policyKindReo:
+		return policy.Reo{ParityBudget: float64(param) / 1e6}
+	case policyKindUniform:
+		return policy.Uniform{ParityChunks: int(param)}
+	default:
+		return policy.FullReplication{}
+	}
+}
+
+// senseResponse maps a store error onto the Table III sense codes.
+func senseResponse(err error, resp Response) Response {
+	switch {
+	case err == nil:
+		resp.Sense = osd.SenseOK
+	case errors.Is(err, store.ErrCorrupted):
+		resp.Sense = osd.SenseCorrupted
+		resp.Message = err.Error()
+	case errors.Is(err, store.ErrCacheFull):
+		resp.Sense = osd.SenseCacheFull
+		resp.Message = err.Error()
+	case errors.Is(err, store.ErrRedundancyFull):
+		resp.Sense = osd.SenseRedundancyFull
+		resp.Message = err.Error()
+	default:
+		resp.Sense = osd.SenseFailure
+		resp.Message = err.Error()
+	}
+	return resp
+}

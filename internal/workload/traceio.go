@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file implements a compact binary container for synthesised traces so
+// experiments can be archived and replayed bit-identically without
+// re-running the generator (MediSyn emits trace files too; this is our
+// equivalent).
+//
+// Layout (all integers varint-encoded except the fixed header):
+//
+//	magic "REOTRC1\n" (8 bytes)
+//	config: objects, meanSize, sigma(*1e6), requests, zipfS(*1e6),
+//	        plateauQ(*1e6), locality, writeRatio(*1e6), seed
+//	sizes:  objects × varint
+//	requests: requests × (varint object, 1 byte write flag, varint version)
+
+var traceMagic = [8]byte{'R', 'E', 'O', 'T', 'R', 'C', '2', '\n'}
+
+// ErrBadTraceFile is returned when a trace container cannot be parsed.
+var ErrBadTraceFile = errors.New("workload: malformed trace file")
+
+// WriteTo serialises the trace. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write(traceMagic[:]); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		return write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	putVarint := func(v int64) error {
+		return write(buf[:binary.PutVarint(buf[:], v)])
+	}
+	cfg := t.Config
+	for _, v := range []uint64{
+		uint64(cfg.Objects),
+		uint64(cfg.MeanObjectSize),
+		uint64(cfg.SizeSigma * 1e6),
+		uint64(cfg.Requests),
+		uint64(cfg.ZipfS * 1e6),
+		uint64(cfg.PlateauQ * 1e6),
+		uint64(cfg.Locality),
+		uint64(cfg.WriteRatio * 1e6),
+	} {
+		if err := putUvarint(v); err != nil {
+			return n, err
+		}
+	}
+	if err := putVarint(cfg.Seed); err != nil {
+		return n, err
+	}
+	if err := putUvarint(uint64(len(t.Sizes))); err != nil {
+		return n, err
+	}
+	for _, s := range t.Sizes {
+		if err := putUvarint(uint64(s)); err != nil {
+			return n, err
+		}
+	}
+	if err := putUvarint(uint64(len(t.Requests))); err != nil {
+		return n, err
+	}
+	for _, r := range t.Requests {
+		if err := putUvarint(uint64(r.Object)); err != nil {
+			return n, err
+		}
+		flag := byte(0)
+		if r.Write {
+			flag = 1
+		}
+		if err := write([]byte{flag}); err != nil {
+			return n, err
+		}
+		if err := putUvarint(uint64(r.Version)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserialises a trace written by WriteTo and recomputes its
+// derived aggregates.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTraceFile, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTraceFile)
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readI := func() (int64, error) { return binary.ReadVarint(br) }
+
+	var cfg Config
+	fields := []*uint64{}
+	var raw [8]uint64
+	for i := range raw {
+		fields = append(fields, &raw[i])
+	}
+	for _, f := range fields {
+		v, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: config: %v", ErrBadTraceFile, err)
+		}
+		*f = v
+	}
+	cfg.Objects = int(raw[0])
+	cfg.MeanObjectSize = int64(raw[1])
+	cfg.SizeSigma = float64(raw[2]) / 1e6
+	cfg.Requests = int(raw[3])
+	cfg.ZipfS = float64(raw[4]) / 1e6
+	cfg.PlateauQ = float64(raw[5]) / 1e6
+	cfg.Locality = Locality(raw[6])
+	cfg.WriteRatio = float64(raw[7]) / 1e6
+	seed, err := readI()
+	if err != nil {
+		return nil, fmt.Errorf("%w: seed: %v", ErrBadTraceFile, err)
+	}
+	cfg.Seed = seed
+
+	nSizes, err := readU()
+	if err != nil || nSizes > 100_000_000 {
+		return nil, fmt.Errorf("%w: size count", ErrBadTraceFile)
+	}
+	tr := &Trace{Config: cfg, Sizes: make([]int64, nSizes)}
+	for i := range tr.Sizes {
+		v, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: sizes: %v", ErrBadTraceFile, err)
+		}
+		tr.Sizes[i] = int64(v)
+		tr.DatasetBytes += int64(v)
+	}
+	nReqs, err := readU()
+	if err != nil || nReqs > 1_000_000_000 {
+		return nil, fmt.Errorf("%w: request count", ErrBadTraceFile)
+	}
+	tr.Requests = make([]Request, nReqs)
+	for i := range tr.Requests {
+		obj, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request object: %v", ErrBadTraceFile, err)
+		}
+		if obj >= nSizes {
+			return nil, fmt.Errorf("%w: object %d out of range", ErrBadTraceFile, obj)
+		}
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request flag: %v", ErrBadTraceFile, err)
+		}
+		version, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: request version: %v", ErrBadTraceFile, err)
+		}
+		req := Request{Object: int(obj), Write: flag != 0, Version: int(version)}
+		tr.Requests[i] = req
+		tr.TotalBytes += tr.Sizes[req.Object]
+		if req.Write {
+			tr.Writes++
+		} else {
+			tr.Reads++
+		}
+	}
+	return tr, nil
+}

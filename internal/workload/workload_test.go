@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Objects: 100, MeanObjectSize: 1000, Requests: 500, Locality: Medium, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DatasetBytes != b.DatasetBytes || a.TotalBytes != b.TotalBytes {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	base := Config{Objects: 100, MeanObjectSize: 1000, Requests: 500, Locality: Medium}
+	a, _ := Generate(base)
+	other := base
+	other.Seed = 99
+	b, _ := Generate(other)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Objects: 0, MeanObjectSize: 1, Requests: 1},
+		{Objects: 1, MeanObjectSize: 0, Requests: 1},
+		{Objects: 1, MeanObjectSize: 1, Requests: -1},
+		{Objects: 1, MeanObjectSize: 1, Requests: 1, WriteRatio: 1.5},
+		{Objects: 1, MeanObjectSize: 1, Requests: 1, ZipfS: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMeanSizeHonoured(t *testing.T) {
+	tr, err := Generate(Config{Objects: 2000, MeanObjectSize: 10_000, Requests: 0, Locality: Weak, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(tr.DatasetBytes) / float64(len(tr.Sizes))
+	if mean < 9_500 || mean > 10_500 {
+		t.Fatalf("mean size = %v, want ~10000", mean)
+	}
+	for i, s := range tr.Sizes {
+		if s < 1 {
+			t.Fatalf("size[%d] = %d", i, s)
+		}
+	}
+}
+
+func TestLocalityConcentration(t *testing.T) {
+	// Stronger locality must concentrate more requests on the top objects.
+	conc := func(loc Locality) float64 {
+		tr, err := Generate(Config{
+			Objects: 500, MeanObjectSize: 1000, Requests: 20_000,
+			Locality: loc, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int]int)
+		for _, r := range tr.Requests {
+			counts[r.Object]++
+		}
+		// Share of requests to the single most popular object class:
+		// approximate via max count.
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(tr.Requests))
+	}
+	w, m, s := conc(Weak), conc(Medium), conc(Strong)
+	if !(w < m && m < s) {
+		t.Fatalf("concentration weak=%v medium=%v strong=%v not increasing", w, m, s)
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	tr, err := Generate(Config{
+		Objects: 200, MeanObjectSize: 1000, Requests: 10_000,
+		Locality: Medium, WriteRatio: 0.3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tr.Writes) / float64(len(tr.Requests))
+	if math.Abs(ratio-0.3) > 0.02 {
+		t.Fatalf("write ratio = %v, want ~0.3", ratio)
+	}
+	if tr.Reads+tr.Writes != len(tr.Requests) {
+		t.Fatal("read+write counts do not cover trace")
+	}
+	// Versions increase monotonically per object.
+	last := make(map[int]int)
+	for i, r := range tr.Requests {
+		if r.Write {
+			if r.Version != last[r.Object]+1 {
+				t.Fatalf("request %d: version %d after %d", i, r.Version, last[r.Object])
+			}
+			last[r.Object] = r.Version
+		} else if r.Version != last[r.Object] {
+			t.Fatalf("request %d: read version %d, want %d", i, r.Version, last[r.Object])
+		}
+	}
+}
+
+func TestZeroWriteRatioIsReadOnly(t *testing.T) {
+	tr, err := Generate(Config{Objects: 50, MeanObjectSize: 100, Requests: 1000, Locality: Weak, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Writes != 0 || tr.Reads != 1000 {
+		t.Fatalf("reads/writes = %d/%d", tr.Reads, tr.Writes)
+	}
+}
+
+func TestRequestsInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := Generate(Config{
+			Objects: 77, MeanObjectSize: 512, Requests: 300,
+			Locality: Strong, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for _, r := range tr.Requests {
+			if r.Object < 0 || r.Object >= 77 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSamplerCoversAllRanksEventually(t *testing.T) {
+	tr, err := Generate(Config{
+		Objects: 20, MeanObjectSize: 100, Requests: 50_000,
+		Locality: Weak, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, r := range tr.Requests {
+		seen[r.Object] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("only %d of 20 objects accessed", len(seen))
+	}
+}
+
+func TestPaperPresets(t *testing.T) {
+	for _, loc := range []Locality{Weak, Medium, Strong} {
+		cfg := Paper(loc, 1.0/64, 0, 1)
+		if cfg.Objects != 4000 {
+			t.Fatalf("%v objects = %d", loc, cfg.Objects)
+		}
+		if cfg.Requests != loc.PaperRequests() {
+			t.Fatalf("%v requests = %d", loc, cfg.Requests)
+		}
+		if cfg.MeanObjectSize != int64(4.4e6/64) {
+			t.Fatalf("%v mean size = %d", loc, cfg.MeanObjectSize)
+		}
+	}
+	if Weak.PaperRequests() != 25_616 || Medium.PaperRequests() != 51_057 || Strong.PaperRequests() != 89_723 {
+		t.Fatal("paper request counts wrong")
+	}
+	if Locality(0).PaperRequests() != 0 {
+		t.Fatal("unknown locality should report zero requests")
+	}
+}
+
+func TestLocalityStrings(t *testing.T) {
+	if Weak.String() != "weak" || Medium.String() != "medium" || Strong.String() != "strong" {
+		t.Fatal("unexpected locality names")
+	}
+	if Locality(9).String() == "" {
+		t.Fatal("unknown locality should stringify")
+	}
+	if Locality(9).ZipfS() != Medium.ZipfS() {
+		t.Fatal("unknown locality should default to medium skew")
+	}
+}
