@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"github.com/reo-cache/reo/internal/harness"
+	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/workload"
 )
 
@@ -45,6 +47,9 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", defaultParallelism(), "concurrent experiment runs")
 		objects    = fs.Int("objects", 0, "override object population (0 = paper's 4000)")
 		requests   = fs.Int("requests", 0, "override request count (0 = paper's per-locality counts)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		opstats    = fs.Bool("opstats", false, "print a per-op latency breakdown (read.hit/read.miss/write) after each experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +60,34 @@ func run(args []string) error {
 		Parallelism: *parallel,
 		Objects:     *objects,
 		Requests:    *requests,
+	}
+	if *opstats {
+		opts.OpStats = metrics.NewOpHistogram()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reobench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reobench: memprofile:", err)
+			}
+		}()
 	}
 
 	dispatch := map[string]func(harness.Options) error{
@@ -91,6 +124,9 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if opts.OpStats != nil {
+			fmt.Printf("-- per-op latency (%s, virtual time, cumulative) --\n%s\n", name, opts.OpStats)
+		}
 	}
 	return nil
 }

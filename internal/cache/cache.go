@@ -127,6 +127,22 @@ type entry struct {
 	dirty bool
 	class osd.Class
 	elem  *list.Element
+	// flushing marks an in-flight write-back; flushDone closes when it
+	// completes. Both are guarded by Manager.mu — the latch lets other
+	// goroutines wait for the flush without holding the manager lock.
+	flushing  bool
+	flushDone chan struct{}
+}
+
+// fill is the in-flight latch for a backend miss. Concurrent misses on the
+// same object coalesce onto one backend fetch: the first request becomes
+// the leader and performs the fetch, the rest wait on done and share the
+// result.
+type fill struct {
+	done chan struct{}
+	data []byte
+	cost time.Duration
+	err  error
 }
 
 // hotness ranks an entry under the configured metric.
@@ -176,8 +192,13 @@ type Result struct {
 type Manager struct {
 	cfg Config
 
+	// mu guards the entry map, LRU list, counters, and fill map. It is
+	// not held across store or backend IO on the hot paths: hits read the
+	// store outside the lock, misses fetch the backend behind a per-object
+	// fill latch, and flushes run behind per-entry flush latches.
 	mu         sync.Mutex
 	entries    map[osd.ObjectID]*entry
+	fills      map[osd.ObjectID]*fill
 	lru        *list.List // front = most recent
 	hhot       float64
 	dirtyBytes int64
@@ -193,6 +214,7 @@ func New(cfg Config) (*Manager, error) {
 	return &Manager{
 		cfg:     cfg,
 		entries: make(map[osd.ObjectID]*entry),
+		fills:   make(map[osd.ObjectID]*fill),
 		lru:     list.New(),
 		hhot:    math.Inf(1), // everything cold until the first refresh
 	}, nil
@@ -220,50 +242,93 @@ func (m *Manager) disabledLocked() bool {
 // Read serves a client read of the object: from cache on a hit (including
 // degraded reconstruction), from the backend on a miss (with admission into
 // the cache as background work).
+//
+// The manager lock is held only for metadata bookkeeping: the store read on
+// the hit path and the backend fetch on the miss path both run unlocked.
+// Concurrent misses on the same object coalesce onto a single backend fetch
+// through the fill map.
 func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.Reads++
 	m.readsSince++
 
-	var res Result
 	if !m.disabledLocked() {
 		if e, ok := m.entries[id]; ok {
+			e.freq++
+			m.lru.MoveToFront(e.elem)
+			m.mu.Unlock()
 			data, cost, degraded, err := m.cfg.Store.Get(id)
 			switch {
 			case err == nil:
-				e.freq++
-				m.lru.MoveToFront(e.elem)
-				m.stats.Hits++
-				res = Result{
+				res := Result{
 					Hit:      true,
 					Degraded: degraded,
 					Bytes:    int64(len(data)),
 					Data:     data,
 					Latency:  cost + m.netCost(int64(len(data))),
 				}
+				m.mu.Lock()
+				m.stats.Hits++
 				res.Background += m.maybeRefreshLocked()
+				m.mu.Unlock()
 				return res, nil
 			case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
 				// The object died with a device; fall through to a miss.
-				m.dropEntryLocked(e)
-				m.stats.LostObjects++
+				m.mu.Lock()
+				if cur, ok := m.entries[id]; ok && cur == e && !e.flushing {
+					m.dropEntryLocked(e)
+					m.stats.LostObjects++
+				}
 			default:
 				return Result{}, err
 			}
 		}
 	}
+	// Still (or again) holding m.mu here: miss path.
 
-	// Miss path: fetch the authoritative copy.
+	// Coalesce concurrent misses: if another request is already fetching
+	// this object, wait for its result instead of hitting the backend
+	// again.
+	if f, ok := m.fills[id]; ok {
+		m.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return Result{}, f.err
+		}
+		res := Result{
+			Bytes:   int64(len(f.data)),
+			Data:    f.data,
+			Latency: f.cost + m.netCost(int64(len(f.data))),
+		}
+		m.mu.Lock()
+		m.stats.Misses++
+		res.Background += m.maybeRefreshLocked()
+		m.mu.Unlock()
+		return res, nil
+	}
+
+	// Leader: register the fill, fetch the authoritative copy unlocked.
+	f := &fill{done: make(chan struct{})}
+	m.fills[id] = f
+	m.mu.Unlock()
+
 	data, backendCost, err := m.cfg.Backend.Get(id)
 	if err != nil {
 		if errors.Is(err, backend.ErrNotFound) {
-			return Result{}, fmt.Errorf("%w: %v", ErrNoBackend, id)
+			err = fmt.Errorf("%w: %v", ErrNoBackend, id)
 		}
+	}
+	f.data, f.cost, f.err = data, backendCost, err
+
+	m.mu.Lock()
+	delete(m.fills, id)
+	close(f.done)
+	if err != nil {
+		m.mu.Unlock()
 		return Result{}, err
 	}
 	m.stats.Misses++
-	res = Result{
+	res := Result{
 		Bytes:   int64(len(data)),
 		Data:    data,
 		Latency: backendCost + m.netCost(int64(len(data))),
@@ -272,6 +337,7 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 		res.Background += m.admitLocked(id, data, false)
 	}
 	res.Background += m.maybeRefreshLocked()
+	m.mu.Unlock()
 	return res, nil
 }
 
@@ -281,9 +347,9 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 // cache out of service the write goes straight to the backend.
 func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.Writes++
 	if m.disabledLocked() {
+		m.mu.Unlock()
 		cost, err := m.cfg.Backend.Put(id, data)
 		if err != nil {
 			return Result{}, err
@@ -298,6 +364,7 @@ func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 		// The cache could not absorb the update (e.g. object larger than
 		// the array). Never acknowledge a write that is stored nowhere:
 		// fall back to a synchronous write-through to the backend.
+		m.mu.Unlock()
 		bcost, err := m.cfg.Backend.Put(id, data)
 		if err != nil {
 			return Result{}, err
@@ -314,6 +381,7 @@ func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 		Latency: cost + m.netCost(int64(len(data))),
 	}
 	res.Background += m.maybeFlushLocked()
+	m.mu.Unlock()
 	return res, nil
 }
 
@@ -323,14 +391,30 @@ func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 // the client was already served.
 func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Duration {
 	var total time.Duration
-	if prev, ok := m.entries[id]; ok {
+	for {
+		prev, ok := m.entries[id]
+		if !ok {
+			break
+		}
+		if prev.flushing {
+			// A write-back is in flight for the old copy; wait for it to
+			// settle before replacing the entry. The lock is dropped while
+			// waiting, so re-check from scratch afterwards.
+			ch := prev.flushDone
+			m.mu.Unlock()
+			<-ch
+			m.mu.Lock()
+			continue
+		}
 		if prev.dirty && !dirty {
 			// Never downgrade a dirty object by overwriting it clean
 			// without a flush.
 			total += m.flushEntryLocked(prev)
+			continue // the lock was dropped; re-check the entry
 		}
 		m.dropEntryLocked(prev)
 		_ = m.cfg.Store.Delete(id) // ignore not-found
+		break
 	}
 
 	class := osd.ClassDirty
@@ -376,59 +460,112 @@ func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Dur
 }
 
 // evictOneLocked removes the least recently used object, flushing it first
-// if dirty. It reports false when nothing is evictable.
+// if dirty. It reports false when nothing is evictable. The lock may be
+// dropped and retaken while waiting on in-flight flushes.
 func (m *Manager) evictOneLocked() (time.Duration, bool) {
-	back := m.lru.Back()
-	if back == nil {
-		return 0, false
-	}
-	e, ok := back.Value.(*entry)
-	if !ok {
-		return 0, false
-	}
 	var total time.Duration
-	if e.dirty {
-		total += m.flushEntryLocked(e)
+	for {
+		back := m.lru.Back()
+		if back == nil {
+			return total, false
+		}
+		e, ok := back.Value.(*entry)
+		if !ok {
+			return total, false
+		}
+		if e.flushing {
+			// The victim is mid-flush; wait for the latch and rescan (the
+			// LRU tail may have changed while the lock was dropped).
+			ch := e.flushDone
+			m.mu.Unlock()
+			<-ch
+			m.mu.Lock()
+			continue
+		}
+		if e.dirty {
+			total += m.flushEntryLocked(e)
+			if m.entries[e.id] != e {
+				continue // dropped while the flush ran; rescan
+			}
+		}
+		m.dropEntryLocked(e)
+		_ = m.cfg.Store.Delete(e.id)
+		m.stats.Evictions++
+		return total, true
 	}
-	m.dropEntryLocked(e)
-	_ = m.cfg.Store.Delete(e.id)
-	m.stats.Evictions++
-	return total, true
 }
 
 // flushEntryLocked writes a dirty object back to the backend and reclasses
-// it as clean in the store.
+// it as clean in the store. It is called and returns with the manager lock
+// held, but drops the lock around the store read, backend write, and
+// reclassification so concurrent requests keep flowing; the entry's flush
+// latch serialises flushers of the same entry.
 func (m *Manager) flushEntryLocked(e *entry) time.Duration {
+	for e.flushing {
+		// Another goroutine is already flushing this entry: wait on its
+		// latch rather than double-flushing, then re-check.
+		ch := e.flushDone
+		m.mu.Unlock()
+		<-ch
+		m.mu.Lock()
+	}
+	if !e.dirty || m.entries[e.id] != e {
+		return 0
+	}
+	e.flushing = true
+	e.flushDone = make(chan struct{})
+	wantHot := m.hotness(e) >= m.hhot
+	m.mu.Unlock()
+
 	data, readCost, _, err := m.cfg.Store.Get(e.id)
 	total := readCost
+	flushed := false
+	clearDirty := false
 	if err != nil {
 		// The dirty copy is unreadable (device loss beyond redundancy):
 		// the update is gone — exactly the catastrophic case the paper
 		// protects against. Nothing to flush.
-		e.dirty = false
-		m.dirtyBytes -= e.size
-		return total
+		clearDirty = true
+	} else if _, perr := m.cfg.Backend.Put(e.id, data); perr == nil {
+		// The backend write itself is asynchronous to the cache server
+		// (it runs on the storage server's disk, overlapped with request
+		// service), so it is not charged to the cache's virtual clock;
+		// only the flash read above and the re-encode below consume
+		// cache-side time.
+		_ = m.cfg.Store.MarkClean(e.id)
+		flushed = true
+		clearDirty = true
 	}
-	// The backend write itself is asynchronous to the cache server (it
-	// runs on the storage server's disk, overlapped with request
-	// service), so it is not charged to the cache's virtual clock; only
-	// the flash read above and the re-encode below consume cache-side
-	// time.
-	if _, err := m.cfg.Backend.Put(e.id, data); err != nil {
-		return total
-	}
-	_ = m.cfg.Store.MarkClean(e.id)
-	e.dirty = false
-	m.dirtyBytes -= e.size
-	m.stats.Flushes++
+
 	// Re-label (and re-encode) the now-clean object per its hotness.
+	var reclassCost time.Duration
+	reclassOK := false
 	class := osd.ClassColdClean
-	if m.hotness(e) >= m.hhot {
-		class = osd.ClassHotClean
+	if flushed {
+		if wantHot {
+			class = osd.ClassHotClean
+		}
+		if cost, rerr := m.cfg.Store.Reclassify(e.id, class); rerr == nil {
+			reclassCost = cost
+			reclassOK = true
+		}
 	}
-	if cost, err := m.cfg.Store.Reclassify(e.id, class); err == nil {
-		e.class = class
-		total += cost
+
+	m.mu.Lock()
+	e.flushing = false
+	close(e.flushDone)
+	if m.entries[e.id] == e {
+		if clearDirty && e.dirty {
+			e.dirty = false
+			m.dirtyBytes -= e.size
+		}
+		if reclassOK {
+			e.class = class
+			total += reclassCost
+		}
+	}
+	if flushed {
+		m.stats.Flushes++
 	}
 	return total
 }
@@ -444,12 +581,20 @@ func (m *Manager) maybeFlushLocked() time.Duration {
 	}
 	target := limit / 2
 	var total time.Duration
-	for elem := m.lru.Back(); elem != nil && m.dirtyBytes > target; {
-		prev := elem.Prev()
-		if e, ok := elem.Value.(*entry); ok && e.dirty {
-			total += m.flushEntryLocked(e)
+	for m.dirtyBytes > target {
+		// Each flush drops the lock, so rescan from the LRU tail rather
+		// than walking a possibly-stale element chain.
+		var victim *entry
+		for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
+			if e, ok := elem.Value.(*entry); ok && e.dirty && !e.flushing {
+				victim = e
+				break
+			}
 		}
-		elem = prev
+		if victim == nil {
+			break // remaining dirty bytes are all mid-flush elsewhere
+		}
+		total += m.flushEntryLocked(victim)
 	}
 	return total
 }
@@ -460,12 +605,37 @@ func (m *Manager) FlushAll() time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var total time.Duration
-	for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
-		if e, ok := elem.Value.(*entry); ok && e.dirty {
-			total += m.flushEntryLocked(e)
+	for {
+		// Flushing drops the lock, so pick one victim per scan. When the
+		// only dirty entries left are mid-flush elsewhere, wait on one of
+		// their latches and rescan until everything has settled.
+		var victim, inflight *entry
+		for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
+			e, ok := elem.Value.(*entry)
+			if !ok {
+				continue
+			}
+			if e.flushing {
+				inflight = e
+				continue
+			}
+			if e.dirty {
+				victim = e
+				break
+			}
+		}
+		switch {
+		case victim != nil:
+			total += m.flushEntryLocked(victim)
+		case inflight != nil:
+			ch := inflight.flushDone
+			m.mu.Unlock()
+			<-ch
+			m.mu.Lock()
+		default:
+			return total
 		}
 	}
-	return total
 }
 
 func (m *Manager) dropEntryLocked(e *entry) {

@@ -26,11 +26,19 @@ func (m *Manager) Preload(ids []osd.ObjectID) (admitted int, cost time.Duration,
 			m.mu.Unlock()
 			continue
 		}
+		m.mu.Unlock()
+		// Fetch without the lock so client requests keep flowing during
+		// a bulk warm-up.
 		data, fetchCost, err := m.cfg.Backend.Get(id)
 		if err != nil {
-			m.mu.Unlock()
 			// Missing objects are skipped, not fatal: warm-up hints can
 			// be stale.
+			continue
+		}
+		m.mu.Lock()
+		if _, ok := m.entries[id]; ok {
+			// A client request admitted it while we were fetching.
+			m.mu.Unlock()
 			continue
 		}
 		cost += fetchCost

@@ -18,89 +18,114 @@ import (
 // dirty. Out-of-range updates are rejected.
 func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.stats.Writes++
 
 	if m.disabledLocked() {
-		return m.writeAtBackendLocked(id, offset, data)
+		m.mu.Unlock()
+		return m.writeAtBackend(id, offset, data)
 	}
 
-	if e, ok := m.entries[id]; ok {
-		cost, err := m.cfg.Store.WriteRange(id, offset, data)
-		switch {
-		case err == nil:
-			if !e.dirty {
-				e.dirty = true
-				m.dirtyBytes += e.size
+	for {
+		if e, ok := m.entries[id]; ok {
+			if e.flushing {
+				// An in-flight flush would clear the dirty bit this update
+				// is about to set; wait for it to settle, then re-check.
+				ch := e.flushDone
+				m.mu.Unlock()
+				<-ch
+				m.mu.Lock()
+				continue
 			}
-			e.class = osd.ClassDirty
-			m.lru.MoveToFront(e.elem)
-			res := Result{
-				Hit:     true,
-				Bytes:   int64(len(data)),
-				Latency: cost + m.netCost(int64(len(data))),
+			cost, err := m.cfg.Store.WriteRange(id, offset, data)
+			switch {
+			case err == nil:
+				if !e.dirty {
+					e.dirty = true
+					m.dirtyBytes += e.size
+				}
+				e.class = osd.ClassDirty
+				m.lru.MoveToFront(e.elem)
+				res := Result{
+					Hit:     true,
+					Bytes:   int64(len(data)),
+					Latency: cost + m.netCost(int64(len(data))),
+				}
+				res.Background += m.maybeFlushLocked()
+				m.mu.Unlock()
+				return res, nil
+			case errors.Is(err, store.ErrOutOfRange):
+				m.mu.Unlock()
+				return Result{}, err
+			case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
+				m.dropEntryLocked(e)
+				m.stats.LostObjects++
+				// Fall through to the uncached path.
+			case errors.Is(err, store.ErrCacheFull):
+				// In-place growth impossible: merge and go through the full
+				// write path (evictions, fallback).
+				merged, mcost, err := m.mergeLocked(id, offset, data)
+				if err != nil {
+					m.mu.Unlock()
+					return Result{}, err
+				}
+				m.dropEntryLocked(e)
+				_ = m.cfg.Store.Delete(id)
+				cost := m.admitLocked(id, merged, true)
+				m.mu.Unlock()
+				return Result{
+					Hit:     true,
+					Bytes:   int64(len(data)),
+					Latency: mcost + cost + m.netCost(int64(len(data))),
+				}, nil
+			default:
+				m.mu.Unlock()
+				return Result{}, err
 			}
-			res.Background += m.maybeFlushLocked()
-			return res, nil
-		case errors.Is(err, store.ErrOutOfRange):
+		}
+
+		// Uncached: fetch, merge, admit dirty. The fetch runs unlocked; if
+		// the object was admitted meanwhile, retry the cached path so the
+		// update lands on the freshest copy.
+		m.mu.Unlock()
+		full, fetchCost, err := m.cfg.Backend.Get(id)
+		if err != nil {
+			if errors.Is(err, backend.ErrNotFound) {
+				return Result{}, fmt.Errorf("%w: %v", ErrNoBackend, id)
+			}
 			return Result{}, err
-		case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
-			m.dropEntryLocked(e)
-			m.stats.LostObjects++
-			// Fall through to the uncached path.
-		case errors.Is(err, store.ErrCacheFull):
-			// In-place growth impossible: merge and go through the full
-			// write path (evictions, fallback).
-			merged, mcost, err := m.mergeLocked(id, offset, data)
+		}
+		if offset < 0 || offset+int64(len(data)) > int64(len(full)) {
+			return Result{}, fmt.Errorf("%w: [%d,%d) of %d-byte object %v",
+				store.ErrOutOfRange, offset, offset+int64(len(data)), len(full), id)
+		}
+		copy(full[offset:], data)
+		m.mu.Lock()
+		if _, ok := m.entries[id]; ok {
+			continue
+		}
+		m.stats.Misses++
+		cost := m.admitLocked(id, full, true)
+		if _, admitted := m.entries[id]; !admitted {
+			m.mu.Unlock()
+			bcost, err := m.cfg.Backend.Put(id, full)
 			if err != nil {
 				return Result{}, err
 			}
-			m.dropEntryLocked(e)
-			_ = m.cfg.Store.Delete(id)
-			cost := m.admitLocked(id, merged, true)
 			return Result{
-				Hit:     true,
-				Bytes:   int64(len(data)),
-				Latency: mcost + cost + m.netCost(int64(len(data))),
+				Bytes:      int64(len(data)),
+				Latency:    fetchCost + bcost + m.netCost(int64(len(data))),
+				Background: cost,
 			}, nil
-		default:
-			return Result{}, err
 		}
-	}
-
-	// Uncached: fetch, merge, admit dirty.
-	full, fetchCost, err := m.cfg.Backend.Get(id)
-	if err != nil {
-		if errors.Is(err, backend.ErrNotFound) {
-			return Result{}, fmt.Errorf("%w: %v", ErrNoBackend, id)
+		res := Result{
+			Hit:     true,
+			Bytes:   int64(len(data)),
+			Latency: fetchCost + cost + m.netCost(int64(len(data))),
 		}
-		return Result{}, err
+		res.Background += m.maybeFlushLocked()
+		m.mu.Unlock()
+		return res, nil
 	}
-	if offset < 0 || offset+int64(len(data)) > int64(len(full)) {
-		return Result{}, fmt.Errorf("%w: [%d,%d) of %d-byte object %v",
-			store.ErrOutOfRange, offset, offset+int64(len(data)), len(full), id)
-	}
-	copy(full[offset:], data)
-	m.stats.Misses++
-	cost := m.admitLocked(id, full, true)
-	if _, admitted := m.entries[id]; !admitted {
-		bcost, err := m.cfg.Backend.Put(id, full)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{
-			Bytes:      int64(len(data)),
-			Latency:    fetchCost + bcost + m.netCost(int64(len(data))),
-			Background: cost,
-		}, nil
-	}
-	res := Result{
-		Hit:     true,
-		Bytes:   int64(len(data)),
-		Latency: fetchCost + cost + m.netCost(int64(len(data))),
-	}
-	res.Background += m.maybeFlushLocked()
-	return res, nil
 }
 
 // mergeLocked reads the object's current cached content and applies the
@@ -117,9 +142,10 @@ func (m *Manager) mergeLocked(id osd.ObjectID, offset int64, data []byte) ([]byt
 	return full, cost, nil
 }
 
-// writeAtBackendLocked handles partial writes while caching is out of
-// service: read-modify-write directly against the backend.
-func (m *Manager) writeAtBackendLocked(id osd.ObjectID, offset int64, data []byte) (Result, error) {
+// writeAtBackend handles partial writes while caching is out of service:
+// read-modify-write directly against the backend. It runs without the
+// manager lock — the backend serialises its own state.
+func (m *Manager) writeAtBackend(id osd.ObjectID, offset int64, data []byte) (Result, error) {
 	full, fetchCost, err := m.cfg.Backend.Get(id)
 	if err != nil {
 		if errors.Is(err, backend.ErrNotFound) {

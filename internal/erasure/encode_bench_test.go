@@ -1,0 +1,69 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEncode is the headline coding benchmark tracked in EXPERIMENTS.md:
+// a 4+2 codec over 64KB chunks, the configuration the stripe manager uses at
+// the paper's scale. The fused word-wide kernel is compared against the seed
+// scalar implementation there.
+func BenchmarkEncode(b *testing.B) {
+	c := mustCodec(b, 4, 2)
+	data := randChunks(rand.New(rand.NewSource(11)), 4, 64<<10)
+	parity := make([][]byte, 2)
+	for p := range parity {
+		parity[p] = make([]byte, 64<<10)
+	}
+	b.SetBytes(int64(4 * 64 << 10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncodeInto(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {3, 2}, {4, 2}, {8, 3}} {
+		m, k := shape[0], shape[1]
+		c := mustCodec(t, m, k)
+		data := randChunks(rand.New(rand.NewSource(int64(m*10+k))), m, 4096+13)
+		want, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([][]byte, k)
+		for p := range got {
+			// Deliberately dirty buffers: EncodeInto overwrites, so callers
+			// need not pre-zero pooled scratch.
+			got[p] = bytes.Repeat([]byte{0xaa}, 4096+13)
+		}
+		if err := c.EncodeInto(data, got); err != nil {
+			t.Fatal(err)
+		}
+		for p := range got {
+			if !bytes.Equal(got[p], want[p]) {
+				t.Fatalf("m=%d k=%d parity %d mismatch", m, k, p)
+			}
+		}
+	}
+}
+
+func TestEncodeIntoShapeErrors(t *testing.T) {
+	c := mustCodec(t, 4, 2)
+	data := randChunks(rand.New(rand.NewSource(12)), 4, 256)
+	if err := c.EncodeInto(data[:3], make([][]byte, 2)); err == nil {
+		t.Fatal("wrong data count accepted")
+	}
+	if err := c.EncodeInto(data, make([][]byte, 1)); err == nil {
+		t.Fatal("wrong parity count accepted")
+	}
+	short := [][]byte{make([]byte, 256), make([]byte, 100)}
+	if err := c.EncodeInto(data, short); err == nil {
+		t.Fatal("short parity buffer accepted")
+	}
+}

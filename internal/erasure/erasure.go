@@ -69,6 +69,16 @@ func New(m, k int) (*Codec, error) {
 // submatrix is invertible), we right-multiply by the inverse of its top m×m
 // block; this preserves the any-m-rows-invertible property while making the
 // code systematic.
+//
+// The parity block P (rows m..m+k-1) is then normalised so its first row
+// and first column are all ones. The code is MDS iff every square submatrix
+// of P is nonsingular, and scaling a row or column of P by a nonzero
+// constant scales those determinants by the same constant — so the
+// normalised code is exactly as recoverable, while the encode hot path
+// collapses: the first parity row is a plain XOR of the data chunks, and
+// the first data chunk lands in every parity row as a copy. (Every entry of
+// P is nonzero — a 1×1 singular submatrix would break MDS — so the needed
+// inverses always exist.)
 func systematicVandermonde(m, k int) (*gf256.Matrix, error) {
 	v := gf256.Vandermonde(m+k, m)
 	top := v.SubMatrix(0, m, 0, m)
@@ -79,6 +89,29 @@ func systematicVandermonde(m, k int) (*gf256.Matrix, error) {
 	gen, err := v.Mul(topInv)
 	if err != nil {
 		return nil, err
+	}
+	if k == 0 {
+		return gen, nil
+	}
+	// Column pass: make parity row 0 all ones.
+	for d := 0; d < m; d++ {
+		inv, err := gf256.Inverse(gen.At(m, d))
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < k; p++ {
+			gen.Set(m+p, d, gf256.Mul(inv, gen.At(m+p, d)))
+		}
+	}
+	// Row pass: make parity column 0 all ones (row 0 is already 1 there).
+	for p := 1; p < k; p++ {
+		inv, err := gf256.Inverse(gen.At(m+p, 0))
+		if err != nil {
+			return nil, err
+		}
+		for d := 0; d < m; d++ {
+			gen.Set(m+p, d, gf256.Mul(inv, gen.At(m+p, d)))
+		}
 	}
 	return gen, nil
 }
@@ -144,12 +177,51 @@ func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
 	parity := make([][]byte, c.k)
 	for p := 0; p < c.k; p++ {
 		parity[p] = make([]byte, size)
-		row := c.gen.Row(c.m + p)
-		for d := 0; d < c.m; d++ {
-			gf256.MulAddSlice(row[d], data[d], parity[p])
+	}
+	c.encodeInto(data, parity)
+	return parity, nil
+}
+
+// EncodeInto computes parity like Encode but writes into caller-provided
+// buffers (e.g. pooled scratch), avoiding the per-call parity allocations.
+// parity must hold k slices of the data chunks' common length; their prior
+// contents are overwritten.
+func (c *Codec) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.m || len(parity) != c.k {
+		return ErrShapeMismatch
+	}
+	size, err := uniformSize(data)
+	if err != nil {
+		return err
+	}
+	for _, p := range parity {
+		if len(p) != size {
+			return ErrChunkSizeUneven
 		}
 	}
-	return parity, nil
+	c.encodeInto(data, parity)
+	return nil
+}
+
+// encodeInto runs the fused encode kernel: each data chunk is swept once,
+// updating every parity row cache-block by cache-block, instead of k
+// independent full passes per parity row. The first data chunk overwrites
+// parity (so callers need not pre-zero the buffers); the rest accumulate.
+func (c *Codec) encodeInto(data, parity [][]byte) {
+	if c.k == 0 {
+		return
+	}
+	coeffs := make([]byte, c.k)
+	for p := 0; p < c.k; p++ {
+		coeffs[p] = c.gen.At(c.m+p, 0)
+	}
+	gf256.MulMatrix(coeffs, data[0], parity)
+	for d := 1; d < c.m; d++ {
+		for p := 0; p < c.k; p++ {
+			coeffs[p] = c.gen.At(c.m+p, d)
+		}
+		gf256.MulAddMatrix(coeffs, data[d], parity)
+	}
 }
 
 // Reconstruct restores the missing fragments in place. fragments must have
@@ -193,37 +265,52 @@ func (c *Codec) Reconstruct(fragments [][]byte) error {
 	}
 
 	// Recover missing data chunks: data[d] = sum_j inv[d][j] * frag[use[j]].
-	recovered := make(map[int][]byte)
-	dataChunk := func(d int) []byte {
-		if fragments[d] != nil {
-			return fragments[d]
-		}
-		return recovered[d]
-	}
-	for _, miss := range missing {
-		if miss >= c.m {
-			continue // parity handled after data
-		}
-		out := make([]byte, size)
-		for j := 0; j < c.m; j++ {
-			gf256.MulAddSlice(inv.At(miss, j), fragments[use[j]], out)
-		}
-		recovered[miss] = out
-	}
-	for d, buf := range recovered {
-		fragments[d] = buf
-	}
-	// Recompute missing parity chunks from the (now complete) data chunks.
+	// Fused across all missing rows: each surviving fragment is swept once,
+	// updating every recovery accumulator.
+	var missData []int
 	for _, miss := range missing {
 		if miss < c.m {
-			continue
+			missData = append(missData, miss)
 		}
-		out := make([]byte, size)
-		row := c.gen.Row(miss)
+	}
+	if len(missData) > 0 {
+		outs := make([][]byte, len(missData))
+		for i := range outs {
+			outs[i] = make([]byte, size)
+		}
+		coeffs := make([]byte, len(missData))
+		for j := 0; j < c.m; j++ {
+			for i, miss := range missData {
+				coeffs[i] = inv.At(miss, j)
+			}
+			gf256.MulAddMatrix(coeffs, fragments[use[j]], outs)
+		}
+		for i, miss := range missData {
+			fragments[miss] = outs[i]
+		}
+	}
+	// Recompute missing parity chunks from the (now complete) data chunks.
+	var missParity []int
+	for _, miss := range missing {
+		if miss >= c.m {
+			missParity = append(missParity, miss)
+		}
+	}
+	if len(missParity) > 0 {
+		outs := make([][]byte, len(missParity))
+		for i := range outs {
+			outs[i] = make([]byte, size)
+		}
+		coeffs := make([]byte, len(missParity))
 		for d := 0; d < c.m; d++ {
-			gf256.MulAddSlice(row[d], dataChunk(d), out)
+			for i, miss := range missParity {
+				coeffs[i] = c.gen.At(miss, d)
+			}
+			gf256.MulAddMatrix(coeffs, fragments[d], outs)
 		}
-		fragments[miss] = out
+		for i, miss := range missParity {
+			fragments[miss] = outs[i]
+		}
 	}
 	return nil
 }
@@ -320,7 +407,8 @@ func (c *Codec) UpdateParityDelta(dataIdx int, oldData, newData []byte, oldParit
 	if len(oldData) != len(newData) {
 		return nil, ErrChunkSizeUneven
 	}
-	delta := make([]byte, len(oldData))
+	delta := gf256.GetBuf(len(oldData))
+	defer gf256.PutBuf(delta)
 	copy(delta, oldData)
 	gf256.XorSlice(newData, delta)
 	out := make([][]byte, c.k)

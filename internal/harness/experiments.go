@@ -31,6 +31,9 @@ type Options struct {
 	Requests int
 	// Parallelism bounds concurrent system runs (0 = 4).
 	Parallelism int
+	// OpStats, when set, aggregates per-op request latencies across every
+	// measured run of the experiment (reobench -opstats).
+	OpStats *metrics.OpHistogram
 }
 
 func (o *Options) applyDefaults() {
@@ -115,7 +118,7 @@ func NormalRun(loc workload.Locality, opts Options) ([]NormalRunRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{})
+				res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
 				if err != nil {
 					return fmt.Errorf("%s @%d%%: %w", pol.Name(), pct, err)
 				}
@@ -171,7 +174,7 @@ func SpaceEfficiency(opts Options) ([]SpaceRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{})
+				res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
 				if err != nil {
 					return err
 				}
@@ -243,7 +246,7 @@ func FailureResistance(opts Options) ([]FailureRow, error) {
 			if err != nil {
 				return err
 			}
-			res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: failAt})
+			res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: failAt, OpStats: opts.OpStats})
 			if err != nil {
 				return fmt.Errorf("%s: %w", pol.Name(), err)
 			}
@@ -331,7 +334,7 @@ func DirtyDataProtection(opts Options) ([]WriteRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{Warmup: true})
+				res, err := Run(sys, tr, RunConfig{Warmup: true, OpStats: opts.OpStats})
 				if err != nil {
 					return fmt.Errorf("%s @%d%% writes: %w", pol.Name(), ratio, err)
 				}
@@ -435,6 +438,7 @@ func RecoveryAblation(opts Options) ([]RecoveryRow, error) {
 			SpareAt:                   map[int]int{failIdx: 0},
 			RecoveryObjectsPerRequest: 2,
 			OnSpare:                   onSpare,
+			OpStats:                   opts.OpStats,
 		})
 		if err != nil {
 			return nil, err
@@ -519,7 +523,7 @@ func HotnessAblation(opts Options) ([]HotnessRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: map[int]int{failIdx: 0}})
+		res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: map[int]int{failIdx: 0}, OpStats: opts.OpStats})
 		if err != nil {
 			return nil, err
 		}
@@ -564,7 +568,7 @@ func ChunkAblation(opts Options) ([]ChunkRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(sys, tr, RunConfig{})
+		res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
 		if err != nil {
 			return nil, err
 		}
@@ -615,7 +619,7 @@ func WearAblation(opts Options) ([]WearRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := Run(sys, tr, RunConfig{}); err != nil {
+		if _, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats}); err != nil {
 			return nil, err
 		}
 		arr := sys.Store.Array()

@@ -154,6 +154,10 @@ type RunConfig struct {
 	// policies that protect dirty data; a baseline that loses dirty data
 	// under failures will legitimately serve stale versions.
 	VerifyPayloads bool
+	// OpStats, when set, receives every measured request's latency keyed
+	// by operation ("read.hit", "read.miss", "write") for per-path tail
+	// analysis. The histogram may be shared across concurrent runs.
+	OpStats *metrics.OpHistogram
 }
 
 // Phase is one measured segment of a run.
@@ -301,6 +305,16 @@ func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) erro
 			}
 			allCol.Record(result.Hit, result.Degraded, result.Bytes, result.Latency)
 			totalAll.Record(result.Hit, result.Degraded, result.Bytes, result.Latency)
+			if cfg.OpStats != nil {
+				op := "write"
+				if !req.Write {
+					op = "read.miss"
+					if result.Hit {
+						op = "read.hit"
+					}
+				}
+				cfg.OpStats.Record(op, result.Latency)
+			}
 
 			if cfg.RecoveryObjectsPerRequest > 0 && sys.Store.RecoveryActive() {
 				cost, rebuilt, done, err := sys.Store.RecoverStep(cfg.RecoveryObjectsPerRequest)

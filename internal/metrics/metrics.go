@@ -9,6 +9,8 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -116,19 +118,30 @@ func (c *Collector) Snapshot(now time.Duration) Stats {
 }
 
 func (c *Collector) quantileLocked(q float64) time.Duration {
-	if c.requests == 0 {
+	return bucketQuantile(&c.buckets, c.requests, q, c.latencyMax)
+}
+
+// bucketQuantile returns the upper edge of the bucket containing the q-th
+// quantile of count observations.
+func bucketQuantile(buckets *[bucketCount]int64, count int64, q float64, max time.Duration) time.Duration {
+	if count == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(c.requests)))
+	target := int64(math.Ceil(q * float64(count)))
 	var cum int64
-	for i, n := range c.buckets {
+	for i, n := range buckets {
 		cum += n
 		if cum >= target {
-			// Upper edge of bucket i.
-			return bucketBase << uint(i+1)
+			// Upper edge of bucket i, clamped so a sparse top bucket never
+			// reports a quantile above the observed maximum.
+			edge := bucketBase << uint(i+1)
+			if edge > max {
+				return max
+			}
+			return edge
 		}
 	}
-	return c.latencyMax
+	return max
 }
 
 // Reset clears all counters and restarts the bandwidth window at now.
@@ -146,4 +159,80 @@ func (c *Collector) Reset(now time.Duration) {
 func (s Stats) String() string {
 	return fmt.Sprintf("hit=%.1f%% bw=%.1fMB/s lat=%.2fms (n=%d)",
 		s.HitRatio*100, s.BandwidthMBps, float64(s.MeanLatency)/float64(time.Millisecond), s.Requests)
+}
+
+// OpHistogram aggregates latency distributions keyed by operation label
+// ("read.hit", "read.miss", "write", ...). It is safe for concurrent use and
+// is intended for profiling runs: the harness records every request's
+// latency under its op label so tail behaviour can be broken down by path.
+type OpHistogram struct {
+	mu  sync.Mutex
+	ops map[string]*opBucket
+}
+
+type opBucket struct {
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	buckets [bucketCount]int64
+}
+
+// NewOpHistogram returns an empty per-op latency histogram.
+func NewOpHistogram() *OpHistogram {
+	return &OpHistogram{ops: make(map[string]*opBucket)}
+}
+
+// Record adds one observation of the given operation.
+func (h *OpHistogram) Record(op string, d time.Duration) {
+	h.mu.Lock()
+	b := h.ops[op]
+	if b == nil {
+		b = &opBucket{}
+		h.ops[op] = b
+	}
+	b.count++
+	b.sum += d
+	if d > b.max {
+		b.max = d
+	}
+	b.buckets[bucketIndex(d)]++
+	h.mu.Unlock()
+}
+
+// OpStats summarises one operation's latency distribution.
+type OpStats struct {
+	Op    string
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot returns per-op summaries sorted by op label.
+func (h *OpHistogram) Snapshot() []OpStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]OpStats, 0, len(h.ops))
+	for op, b := range h.ops {
+		s := OpStats{Op: op, Count: b.count, Max: b.max}
+		if b.count > 0 {
+			s.Mean = b.sum / time.Duration(b.count)
+		}
+		s.P50 = bucketQuantile(&b.buckets, b.count, 0.50, b.max)
+		s.P99 = bucketQuantile(&b.buckets, b.count, 0.99, b.max)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// String renders the snapshot as one line per op.
+func (h *OpHistogram) String() string {
+	var sb strings.Builder
+	for _, s := range h.Snapshot() {
+		fmt.Fprintf(&sb, "%-12s n=%-8d mean=%-10v p50=%-10v p99=%-10v max=%v\n",
+			s.Op, s.Count, s.Mean, s.P50, s.P99, s.Max)
+	}
+	return sb.String()
 }

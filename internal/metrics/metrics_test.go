@@ -138,3 +138,63 @@ func TestStatsString(t *testing.T) {
 		}
 	}
 }
+
+func TestOpHistogram(t *testing.T) {
+	h := NewOpHistogram()
+	if got := h.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty histogram snapshot has %d ops", len(got))
+	}
+	for i := 0; i < 99; i++ {
+		h.Record("read.hit", 100*time.Microsecond)
+	}
+	h.Record("read.hit", 10*time.Millisecond)
+	h.Record("write", 1*time.Millisecond)
+
+	ops := h.Snapshot()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(ops))
+	}
+	if ops[0].Op != "read.hit" || ops[1].Op != "write" {
+		t.Fatalf("ops not sorted: %v, %v", ops[0].Op, ops[1].Op)
+	}
+	rh := ops[0]
+	if rh.Count != 100 {
+		t.Errorf("read.hit count = %d, want 100", rh.Count)
+	}
+	if rh.Max != 10*time.Millisecond {
+		t.Errorf("read.hit max = %v, want 10ms", rh.Max)
+	}
+	wantMean := (99*100*time.Microsecond + 10*time.Millisecond) / 100
+	if rh.Mean != wantMean {
+		t.Errorf("read.hit mean = %v, want %v", rh.Mean, wantMean)
+	}
+	// p50 lands in the 100µs bucket, p99 at/above the outlier's bucket.
+	if rh.P50 > time.Millisecond {
+		t.Errorf("read.hit p50 = %v, want <= 1ms", rh.P50)
+	}
+	if rh.P99 < rh.P50 {
+		t.Errorf("read.hit p99 %v < p50 %v", rh.P99, rh.P50)
+	}
+	if s := h.String(); !strings.Contains(s, "read.hit") || !strings.Contains(s, "write") {
+		t.Errorf("String() missing ops:\n%s", s)
+	}
+}
+
+func TestOpHistogramConcurrent(t *testing.T) {
+	h := NewOpHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record("op", time.Duration(i)*time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ops := h.Snapshot()
+	if len(ops) != 1 || ops[0].Count != 8000 {
+		t.Fatalf("got %+v, want one op with count 8000", ops)
+	}
+}

@@ -125,7 +125,11 @@ type Store struct {
 	dir     *osd.Directory
 	stripes *stripe.Manager
 
-	mu      sync.Mutex
+	// mu guards the object map and recovery bookkeeping. Read-mostly
+	// paths (Get, Status, Has, counters) take the read side, so
+	// independent object reads reach the stripe layer concurrently;
+	// mutations and recovery hold the write side.
+	mu      sync.RWMutex
 	objects map[osd.ObjectID]*object
 
 	recovering bool
@@ -314,16 +318,17 @@ func (s *Store) hotOverheadLocked(exclude osd.ObjectID) int64 {
 // reconstruction. An irrecoverable object is freed and reported as
 // ErrCorrupted; a missing object as ErrNotFound.
 func (s *Store) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	obj, ok := s.objects[id]
 	if !ok {
+		s.mu.RUnlock()
 		return nil, 0, false, fmt.Errorf("%w: %v", ErrNotFound, id)
 	}
 	for _, sid := range obj.stripes {
-		st, err := s.stripes.Status(sid)
-		if err != nil {
-			return nil, 0, false, err
+		st, serr := s.stripes.Status(sid)
+		if serr != nil {
+			s.mu.RUnlock()
+			return nil, 0, false, serr
 		}
 		if st != stripe.StatusHealthy {
 			degraded = true
@@ -331,9 +336,16 @@ func (s *Store) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded 
 		}
 	}
 	data, cost, err = s.stripes.Read(obj.stripes, obj.size)
+	s.mu.RUnlock()
 	if err != nil {
 		if errors.Is(err, stripe.ErrUnrecoverable) {
-			s.freeObjectLocked(obj)
+			// Upgrade to the write lock to drop the corpse; re-check the
+			// entry in case a concurrent Put replaced it meanwhile.
+			s.mu.Lock()
+			if cur, ok := s.objects[id]; ok && cur == obj {
+				s.freeObjectLocked(obj)
+			}
+			s.mu.Unlock()
 			return nil, 0, false, fmt.Errorf("%w: %v", ErrCorrupted, id)
 		}
 		return nil, 0, false, err
@@ -434,8 +446,8 @@ func (s *Store) MarkClean(id osd.ObjectID) error {
 
 // Status classifies the object per §IV.D without charging IO.
 func (s *Store) Status(id osd.ObjectID) ObjectStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	obj, ok := s.objects[id]
 	if !ok {
 		return StatusNotFound
@@ -462,8 +474,8 @@ func (s *Store) statusLocked(obj *object) ObjectStatus {
 
 // Has reports whether the object exists (regardless of health).
 func (s *Store) Has(id osd.ObjectID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.objects[id]
 	return ok
 }
@@ -480,15 +492,15 @@ func (s *Store) Info(id osd.ObjectID) (osd.Info, error) {
 // ObjectCount returns the number of live objects (including metadata
 // objects).
 func (s *Store) ObjectCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.objects)
 }
 
 // CountByClass returns live object counts per class.
 func (s *Store) CountByClass() [osd.NumClasses]int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out [osd.NumClasses]int
 	for _, obj := range s.objects {
 		out[obj.class]++

@@ -30,25 +30,36 @@ type ScrubResult struct {
 // (the paper's §I motivates Reo with exactly such partial data loss), so a
 // periodic scrub is how a production cache would detect it. Scrub returns
 // the virtual-time IO cost of the pass.
+//
+// The pass walks a snapshot of the stripe IDs and locks each stripe only
+// while verifying it, so foreground reads and writes to other stripes are
+// never blocked behind the scrub.
 func (m *Manager) Scrub() (ScrubResult, time.Duration, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var (
 		res   ScrubResult
 		total time.Duration
 	)
-	for _, id := range m.idsLocked() {
-		meta := m.stripes[id]
+	for _, id := range m.IDs() {
+		m.mu.RLock()
+		meta, ok := m.stripes[id]
+		m.mu.RUnlock()
+		if !ok {
+			continue // freed since the snapshot
+		}
 		res.Scanned++
-		switch m.statusLocked(id, meta) {
+		meta.mu.RLock()
+		switch m.status(id, meta) {
 		case StatusLost:
 			res.Lost++
+			meta.mu.RUnlock()
 			continue
 		case StatusDegraded:
 			res.Degraded++
+			meta.mu.RUnlock()
 			continue
 		}
-		ok, cost, err := m.verifyStripeLocked(id, meta)
+		ok, cost, err := m.verifyStripe(id, meta)
+		meta.mu.RUnlock()
 		total += cost
 		if err != nil {
 			return res, total, err
@@ -62,38 +73,32 @@ func (m *Manager) Scrub() (ScrubResult, time.Duration, error) {
 	return res, total, nil
 }
 
-func (m *Manager) idsLocked() []ID {
-	out := make([]ID, 0, len(m.stripes))
-	for id := range m.stripes {
-		out = append(out, id)
-	}
-	// Deterministic order keeps scrub results reproducible.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j-1] > out[j]; j-- {
-			out[j-1], out[j] = out[j], out[j-1]
-		}
-	}
-	return out
-}
-
-func (m *Manager) verifyStripeLocked(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+// verifyStripe checks one stripe's redundancy. The caller holds the
+// stripe's read lock.
+func (m *Manager) verifyStripe(id ID, meta *stripeMeta) (bool, time.Duration, error) {
 	if meta.scheme.Kind == policy.KindReplicate {
-		return m.verifyReplicatedLocked(id, meta)
+		return m.verifyReplicated(id, meta)
 	}
-	return m.verifyParityLocked(id, meta)
+	return m.verifyParity(id, meta)
 }
 
-func (m *Manager) verifyReplicatedLocked(id ID, meta *stripeMeta) (bool, time.Duration, error) {
-	var (
-		first []byte
-		costs []time.Duration
-	)
-	for _, dev := range meta.replicaDevs {
-		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+func (m *Manager) verifyReplicated(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+	copies := make([][]byte, len(meta.replicaDevs))
+	costs := make([]time.Duration, len(meta.replicaDevs))
+	_ = fanChunks(len(meta.replicaDevs), meta.chunkLen, func(i int) error {
+		data, cost, err := m.array.Device(meta.replicaDevs[i]).Read(flash.ChunkAddr(id))
 		if err != nil {
-			continue // missing replicas are Degraded, handled by caller
+			return nil // missing replicas are Degraded, handled by caller
 		}
-		costs = append(costs, cost)
+		copies[i] = data
+		costs[i] = cost
+		return nil
+	})
+	var first []byte
+	for _, data := range copies {
+		if data == nil {
+			continue
+		}
 		if first == nil {
 			first = data
 			continue
@@ -105,22 +110,29 @@ func (m *Manager) verifyReplicatedLocked(id ID, meta *stripeMeta) (bool, time.Du
 	return true, simclock.Parallel(costs...), nil
 }
 
-func (m *Manager) verifyParityLocked(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+func (m *Manager) verifyParity(id ID, meta *stripeMeta) (bool, time.Duration, error) {
 	k := len(meta.parityDevs)
 	if k == 0 {
 		// Nothing to cross-check on 0-parity stripes.
 		return true, 0, nil
 	}
 	dataChunks := len(meta.dataDevs)
+	allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
 	fragments := make([][]byte, dataChunks+k)
-	var costs []time.Duration
-	for i, dev := range append(append([]int(nil), meta.dataDevs...), meta.parityDevs...) {
-		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+	costs := make([]time.Duration, dataChunks+k)
+	_ = fanChunks(len(allDevs), meta.chunkLen, func(i int) error {
+		data, cost, err := m.array.Device(allDevs[i]).Read(flash.ChunkAddr(id))
 		if err != nil {
-			return true, simclock.Parallel(costs...), nil // degraded; not a mismatch
+			return nil
 		}
 		fragments[i] = data
-		costs = append(costs, cost)
+		costs[i] = cost
+		return nil
+	})
+	for _, f := range fragments {
+		if f == nil {
+			return true, simclock.Parallel(costs...), nil // degraded; not a mismatch
+		}
 	}
 	codec, err := m.codec(dataChunks, k)
 	if err != nil {

@@ -11,6 +11,12 @@
 // recovery (restore missing chunks onto a replacement spare), and the
 // per-stripe space accounting (user bytes vs. redundancy bytes) that the
 // space-efficiency experiments report.
+//
+// Concurrency: the manager mutex guards only the stripe map and ID
+// allocation. Each stripe carries its own RWMutex serialising mutating
+// operations (update, rebuild, free) against readers of that stripe, and
+// chunk IO within an operation fans out to per-device goroutines. See
+// DESIGN.md "Concurrency model" for the full lock ordering.
 package stripe
 
 import (
@@ -18,10 +24,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reo-cache/reo/internal/erasure"
 	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/gf256"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/simclock"
 )
@@ -72,6 +80,10 @@ var (
 const encodeBandwidth = 3e9 // bytes/sec
 
 type stripeMeta struct {
+	// mu serialises mutating operations (update, rebuild, free) against
+	// readers of this stripe. It is always acquired after the manager
+	// mutex is released, never while holding it.
+	mu       sync.RWMutex
 	scheme   policy.Scheme
 	chunkLen int
 	dataLen  int
@@ -79,7 +91,8 @@ type stripeMeta struct {
 	// chunk, fixed at write time (parity kind).
 	dataDevs   []int
 	parityDevs []int
-	// replicaDevs lists devices holding copies (replicate kind).
+	// replicaDevs lists devices holding copies (replicate kind). Guarded
+	// by mu: rebuild extends it when re-replicating onto spares.
 	replicaDevs []int
 }
 
@@ -99,15 +112,23 @@ func (sm *stripeMeta) overheadBytes() int64 {
 // Manager allocates, reads, rebuilds, and frees stripes on a flash array.
 // All methods are safe for concurrent use.
 type Manager struct {
-	mu        sync.Mutex
 	array     *flash.Array
 	chunkSize int
 	rotate    bool
-	nextID    ID
-	stripes   map[ID]*stripeMeta
-	codecs    map[[2]int]*erasure.Codec
+
+	// mu guards nextID and the stripes map — metadata only. It is never
+	// held across device IO or encode/decode work.
+	mu      sync.RWMutex
+	nextID  ID
+	stripes map[ID]*stripeMeta
+
+	// codecMu guards the codec cache so read paths can share codecs
+	// without contending on the manager mutex.
+	codecMu sync.RWMutex
+	codecs  map[[2]int]*erasure.Codec
+
 	// repairedChunks counts chunks persisted by repair-on-read.
-	repairedChunks int64
+	repairedChunks atomic.Int64
 }
 
 // Option customises a Manager.
@@ -152,24 +173,92 @@ func (m *Manager) Array() *flash.Array { return m.array }
 
 func (m *Manager) codec(dataChunks, parityChunks int) (*erasure.Codec, error) {
 	key := [2]int{dataChunks, parityChunks}
-	if c, ok := m.codecs[key]; ok {
+	m.codecMu.RLock()
+	c, ok := m.codecs[key]
+	m.codecMu.RUnlock()
+	if ok {
 		return c, nil
 	}
 	c, err := erasure.New(dataChunks, parityChunks)
 	if err != nil {
 		return nil, err
 	}
-	m.codecs[key] = c
+	m.codecMu.Lock()
+	if prev, ok := m.codecs[key]; ok {
+		c = prev // another goroutine built it first; share that one
+	} else {
+		m.codecs[key] = c
+	}
+	m.codecMu.Unlock()
 	return c, nil
+}
+
+// fanOutMinBytes gates per-device goroutine fan-out: below this per-chunk
+// payload the goroutine handoff costs more than the device-side copy it
+// would overlap, so small-chunk stripes run their device IO serially.
+const fanOutMinBytes = 32 << 10
+
+// fanChunks runs fn(0..n-1), one call per chunk of chunkLen bytes — on
+// per-device goroutines when the chunks are large enough to amortise the
+// handoff, serially otherwise. It returns the first (by index) non-nil
+// error.
+func fanChunks(n, chunkLen int, fn func(i int) error) error {
+	if chunkLen < fanOutMinBytes {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fanOut(n, fn)
+}
+
+// fanOut runs fn(0..n-1) on per-index goroutines and returns the first (by
+// index) non-nil error. All indices run to completion even when some fail,
+// so callers see a consistent post-state for rollback.
+func fanOut(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookup fetches a stripe's metadata without holding the manager mutex
+// beyond the map access.
+func (m *Manager) lookup(id ID) (*stripeMeta, error) {
+	m.mu.RLock()
+	meta, ok := m.stripes[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	}
+	return meta, nil
 }
 
 // Write stores data under the given redundancy scheme and returns the IDs of
 // the stripes created (in data order) plus the virtual-time IO cost. Stripes
-// span the devices alive at write time; chunk writes within a stripe run in
-// parallel, and stripes are written back to back.
+// span the devices alive at write time; chunk writes within a stripe fan out
+// to per-device goroutines, and stripes are written back to back.
 func (m *Manager) Write(data []byte, scheme policy.Scheme) ([]ID, time.Duration, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	alive := m.array.Alive()
 	if len(alive) == 0 {
 		return nil, 0, ErrNoAliveDevices
@@ -178,12 +267,29 @@ func (m *Manager) Write(data []byte, scheme policy.Scheme) ([]ID, time.Duration,
 		return nil, 0, fmt.Errorf("%w: %v on %d alive devices", ErrBadScheme, scheme, len(alive))
 	}
 	if scheme.Kind == policy.KindReplicate {
-		return m.writeReplicatedLocked(data, alive)
+		return m.writeReplicated(data, alive)
 	}
-	return m.writeParityLocked(data, scheme.ParityChunks, alive)
+	return m.writeParity(data, scheme.ParityChunks, alive)
 }
 
-func (m *Manager) writeParityLocked(data []byte, k int, alive []int) ([]ID, time.Duration, error) {
+// allocID reserves the next stripe ID. The stripe is not published until
+// its chunks are durably written, so concurrent readers cannot observe a
+// half-written stripe.
+func (m *Manager) allocID() ID {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+	return id
+}
+
+func (m *Manager) publish(id ID, meta *stripeMeta) {
+	m.mu.Lock()
+	m.stripes[id] = meta
+	m.mu.Unlock()
+}
+
+func (m *Manager) writeParity(data []byte, k int, alive []int) ([]ID, time.Duration, error) {
 	dataChunks := len(alive) - k
 	perStripe := dataChunks * m.chunkSize
 	var (
@@ -208,8 +314,7 @@ func (m *Manager) writeParityLocked(data []byte, k int, alive []int) ([]ID, time
 		if chunkLen == 0 {
 			chunkLen = 1
 		}
-		id := m.nextID
-		m.nextID++
+		id := m.allocID()
 		meta := &stripeMeta{
 			scheme:   policy.Parity(k),
 			chunkLen: chunkLen,
@@ -229,56 +334,65 @@ func (m *Manager) writeParityLocked(data []byte, k int, alive []int) ([]ID, time
 			meta.dataDevs = append(meta.dataDevs, alive[(start+k+i)%n])
 		}
 
+		// Stage data chunks in one pooled buffer: the chunks are
+		// consecutive slices, zero-padded past stripeData by GetBuf.
+		buf := gf256.GetBuf(dataChunks * chunkLen)
+		copy(buf, data[off:off+stripeData])
 		chunks := make([][]byte, dataChunks)
 		for i := range chunks {
-			chunks[i] = make([]byte, chunkLen)
-			lo := off + i*chunkLen
-			if lo < off+stripeData {
-				hi := lo + chunkLen
-				if hi > off+stripeData {
-					hi = off + stripeData
-				}
-				copy(chunks[i], data[lo:hi])
-			}
+			chunks[i] = buf[i*chunkLen : (i+1)*chunkLen]
 		}
-		var parity [][]byte
+		var (
+			parity [][]byte
+			pbuf   []byte
+		)
 		if k > 0 {
 			codec, err := m.codec(dataChunks, k)
 			if err != nil {
+				gf256.PutBuf(buf)
 				return nil, 0, err
 			}
-			parity, err = codec.Encode(chunks)
-			if err != nil {
+			pbuf = gf256.GetBuf(k * chunkLen)
+			parity = make([][]byte, k)
+			for j := range parity {
+				parity[j] = pbuf[j*chunkLen : (j+1)*chunkLen]
+			}
+			if err := codec.EncodeInto(chunks, parity); err != nil {
+				gf256.PutBuf(buf)
+				gf256.PutBuf(pbuf)
 				return nil, 0, err
 			}
 			total += simclock.TransferTime(int64(dataChunks*chunkLen), encodeBandwidth)
 		}
 
-		var costs []time.Duration
-		writeChunk := func(dev int, payload []byte) error {
-			c, err := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
-			if err != nil {
-				return fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		// Fan chunk writes out to per-device goroutines. The device copies
+		// the payload, so the pooled buffers can be recycled right after.
+		costs := make([]time.Duration, dataChunks+k)
+		err := fanChunks(dataChunks+k, chunkLen, func(i int) error {
+			payload, dev := chunks[0], 0
+			if i < dataChunks {
+				payload, dev = chunks[i], meta.dataDevs[i]
+			} else {
+				payload, dev = parity[i-dataChunks], meta.parityDevs[i-dataChunks]
 			}
-			costs = append(costs, c)
+			c, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			if werr != nil {
+				return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
+			}
+			costs[i] = c
 			return nil
+		})
+		gf256.PutBuf(buf)
+		if pbuf != nil {
+			gf256.PutBuf(pbuf)
 		}
-		for i, dev := range meta.dataDevs {
-			if err := writeChunk(dev, chunks[i]); err != nil {
-				m.rollbackLocked(id, meta)
-				m.freeLocked(ids)
-				return nil, 0, err
-			}
-		}
-		for j, dev := range meta.parityDevs {
-			if err := writeChunk(dev, parity[j]); err != nil {
-				m.rollbackLocked(id, meta)
-				m.freeLocked(ids)
-				return nil, 0, err
-			}
+		if err != nil {
+			m.rollback(id, meta)
+			m.Free(ids)
+			return nil, 0, err
 		}
 		total += simclock.Parallel(costs...)
-		m.stripes[id] = meta
+		m.publish(id, meta)
 		ids = append(ids, id)
 		if remaining <= perStripe {
 			break
@@ -287,7 +401,7 @@ func (m *Manager) writeParityLocked(data []byte, k int, alive []int) ([]ID, time
 	return ids, total, nil
 }
 
-func (m *Manager) writeReplicatedLocked(data []byte, alive []int) ([]ID, time.Duration, error) {
+func (m *Manager) writeReplicated(data []byte, alive []int) ([]ID, time.Duration, error) {
 	var (
 		ids   []ID
 		total time.Duration
@@ -305,26 +419,30 @@ func (m *Manager) writeReplicatedLocked(data []byte, alive []int) ([]ID, time.Du
 			chunkLen = m.chunkSize
 		}
 		payload := data[off : off+chunkLen]
-		id := m.nextID
-		m.nextID++
+		id := m.allocID()
 		meta := &stripeMeta{
 			scheme:      policy.ReplicateAll(),
 			chunkLen:    chunkLen,
 			dataLen:     chunkLen,
 			replicaDevs: append([]int(nil), alive...),
 		}
-		var costs []time.Duration
-		for _, dev := range alive {
-			c, err := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
-			if err != nil {
-				m.rollbackLocked(id, meta)
-				m.freeLocked(ids)
-				return nil, 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		costs := make([]time.Duration, len(alive))
+		err := fanChunks(len(alive), chunkLen, func(i int) error {
+			dev := alive[i]
+			c, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			if werr != nil {
+				return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 			}
-			costs = append(costs, c)
+			costs[i] = c
+			return nil
+		})
+		if err != nil {
+			m.rollback(id, meta)
+			m.Free(ids)
+			return nil, 0, err
 		}
 		total += simclock.Parallel(costs...)
-		m.stripes[id] = meta
+		m.publish(id, meta)
 		ids = append(ids, id)
 		if remaining <= m.chunkSize {
 			break
@@ -333,9 +451,10 @@ func (m *Manager) writeReplicatedLocked(data []byte, alive []int) ([]ID, time.Du
 	return ids, total, nil
 }
 
-// rollbackLocked removes any chunks written for a stripe whose write failed
-// part way.
-func (m *Manager) rollbackLocked(id ID, meta *stripeMeta) {
+// rollback removes any chunks written for a stripe whose write failed part
+// way. The stripe is unpublished (or the caller holds its write lock), so
+// no locking is needed here.
+func (m *Manager) rollback(id ID, meta *stripeMeta) {
 	devs := append(append(append([]int(nil), meta.dataDevs...), meta.parityDevs...), meta.replicaDevs...)
 	for _, dev := range devs {
 		// Best effort; failed devices reject deletes, which is fine.
@@ -346,14 +465,19 @@ func (m *Manager) rollbackLocked(id ID, meta *stripeMeta) {
 // Read returns the concatenated data of the given stripes trimmed to size
 // bytes, plus the virtual-time cost. Unavailable chunks are reconstructed
 // from survivors when the redundancy level allows (the degraded-read path);
-// otherwise Read returns ErrUnrecoverable.
+// otherwise Read returns ErrUnrecoverable. Chunk reads within each stripe
+// fan out to per-device goroutines; no manager-wide lock is held during IO.
 func (m *Manager) Read(ids []ID, size int) ([]byte, time.Duration, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := make([]byte, 0, size)
 	var total time.Duration
 	for _, id := range ids {
-		data, cost, err := m.readStripeLocked(id)
+		meta, err := m.lookup(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		meta.mu.RLock()
+		data, cost, err := m.readStripe(id, meta)
+		meta.mu.RUnlock()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -366,18 +490,16 @@ func (m *Manager) Read(ids []ID, size int) ([]byte, time.Duration, error) {
 	return out[:size], total, nil
 }
 
-func (m *Manager) readStripeLocked(id ID) ([]byte, time.Duration, error) {
-	meta, ok := m.stripes[id]
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
-	}
+// readStripe reads one stripe. The caller holds the stripe's lock (read or
+// write).
+func (m *Manager) readStripe(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
 	if meta.scheme.Kind == policy.KindReplicate {
-		return m.readReplicatedLocked(id, meta)
+		return m.readReplicated(id, meta)
 	}
-	return m.readParityLocked(id, meta)
+	return m.readParity(id, meta)
 }
 
-func (m *Manager) readReplicatedLocked(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+func (m *Manager) readReplicated(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
 	// Prefer the rotation-selected primary, then fall back to any copy.
 	n := len(meta.replicaDevs)
 	start := int(uint64(id) % uint64(n))
@@ -391,35 +513,45 @@ func (m *Manager) readReplicatedLocked(id ID, meta *stripeMeta) ([]byte, time.Du
 	return nil, 0, fmt.Errorf("%w: stripe %d (all replicas gone)", ErrUnrecoverable, id)
 }
 
-func (m *Manager) readParityLocked(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+func (m *Manager) readParity(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
 	dataChunks := len(meta.dataDevs)
 	k := len(meta.parityDevs)
 	fragments := make([][]byte, dataChunks+k)
-	var costs []time.Duration
+	// Per-index cost slots let the fan-out goroutines record without a
+	// lock; unread slots stay zero, which simclock.Parallel (a max)
+	// ignores.
+	costs := make([]time.Duration, dataChunks+k)
 	var decodeCost time.Duration
-	missingData := 0
 	read := func(idx, dev int) bool {
 		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
 		if err != nil {
 			return false
 		}
 		fragments[idx] = data
-		costs = append(costs, cost)
+		costs[idx] = cost
 		return true
 	}
-	for i, dev := range meta.dataDevs {
-		if !read(i, dev) {
+	_ = fanChunks(dataChunks, meta.chunkLen, func(i int) error {
+		read(i, meta.dataDevs[i])
+		return nil
+	})
+	missingData := 0
+	for i := 0; i < dataChunks; i++ {
+		if fragments[i] == nil {
 			missingData++
 		}
 	}
 	if missingData > 0 {
-		// Degraded read: pull in parity chunks to reach m fragments.
+		// Degraded read: pull in parity chunks to reach m fragments. All
+		// parity reads fan out at once — the degraded path is rare, and a
+		// parallel sweep beats serial retries even when one would do.
+		_ = fanChunks(k, meta.chunkLen, func(j int) error {
+			read(dataChunks+j, meta.parityDevs[j])
+			return nil
+		})
 		available := dataChunks - missingData
-		for j, dev := range meta.parityDevs {
-			if available >= dataChunks {
-				break
-			}
-			if read(dataChunks+j, dev) {
+		for j := 0; j < k; j++ {
+			if fragments[dataChunks+j] != nil {
 				available++
 			}
 		}
@@ -430,7 +562,6 @@ func (m *Manager) readParityLocked(id ID, meta *stripeMeta) ([]byte, time.Durati
 		if err != nil {
 			return nil, 0, err
 		}
-		// Reconstruct only the data chunks; drop parity we did not read.
 		if err := codec.Reconstruct(fragments); err != nil {
 			return nil, 0, fmt.Errorf("stripe %d: %w", id, err)
 		}
@@ -441,22 +572,25 @@ func (m *Manager) readParityLocked(id ID, meta *stripeMeta) ([]byte, time.Durati
 		// the reconstruction already produced the missing chunks, so if
 		// their home devices are healthy again (a spare was inserted),
 		// persist them now rather than leaving the work to background
-		// recovery. The write-back is off the response's critical path.
+		// recovery. The write-back is off the response's critical path
+		// and fans out per device.
 		allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
-		var repairCosts []time.Duration
-		for idx, dev := range allDevs {
+		repairCosts := make([]time.Duration, len(allDevs))
+		_ = fanChunks(len(allDevs), meta.chunkLen, func(idx int) error {
+			dev := allDevs[idx]
 			if fragments[idx] == nil || m.chunkPresent(id, dev) {
-				continue
+				return nil
 			}
 			d := m.array.Device(dev)
 			if d.State() != flash.StateHealthy {
-				continue
+				return nil
 			}
 			if cost, err := d.Write(flash.ChunkAddr(id), fragments[idx]); err == nil {
-				repairCosts = append(repairCosts, cost)
-				m.repairedChunks++
+				repairCosts[idx] = cost
+				m.repairedChunks.Add(1)
 			}
-		}
+			return nil
+		})
 		decodeCost += simclock.Parallel(repairCosts...)
 	}
 	out := make([]byte, 0, meta.dataLen)
@@ -468,16 +602,17 @@ func (m *Manager) readParityLocked(id ID, meta *stripeMeta) ([]byte, time.Durati
 
 // Status reports the stripe's health without charging IO cost.
 func (m *Manager) Status(id ID) (Status, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	meta, ok := m.stripes[id]
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	meta, err := m.lookup(id)
+	if err != nil {
+		return 0, err
 	}
-	return m.statusLocked(id, meta), nil
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
+	return m.status(id, meta), nil
 }
 
-func (m *Manager) statusLocked(id ID, meta *stripeMeta) Status {
+// status computes a stripe's health. The caller holds the stripe's lock.
+func (m *Manager) status(id ID, meta *stripeMeta) Status {
 	if meta.scheme.Kind == policy.KindReplicate {
 		// Replication targets the whole array ("we replicate each
 		// metadata object across all the devices", §IV.C.4): the stripe
@@ -527,19 +662,19 @@ func (m *Manager) chunkPresent(id ID, dev int) bool {
 // status afterwards. Rebuilding a lost stripe returns ErrUnrecoverable;
 // rebuilding a healthy stripe is a cheap no-op.
 func (m *Manager) Rebuild(id ID) (time.Duration, Status, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	meta, ok := m.stripes[id]
-	if !ok {
-		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	meta, err := m.lookup(id)
+	if err != nil {
+		return 0, 0, err
 	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
 	if meta.scheme.Kind == policy.KindReplicate {
-		return m.rebuildReplicatedLocked(id, meta)
+		return m.rebuildReplicated(id, meta)
 	}
-	return m.rebuildParityLocked(id, meta)
+	return m.rebuildParity(id, meta)
 }
 
-func (m *Manager) rebuildReplicatedLocked(id ID, meta *stripeMeta) (time.Duration, Status, error) {
+func (m *Manager) rebuildReplicated(id ID, meta *stripeMeta) (time.Duration, Status, error) {
 	var source []byte
 	var total time.Duration
 	for _, dev := range meta.replicaDevs {
@@ -553,23 +688,36 @@ func (m *Manager) rebuildReplicatedLocked(id ID, meta *stripeMeta) (time.Duratio
 	}
 	// Re-replicate onto every alive device that lacks a copy — including
 	// replacement spares that were not members at write time — and fold
-	// them into the replica set.
-	var writeCosts []time.Duration
+	// them into the replica set. Writes fan out per device; the replica
+	// set is extended afterwards under the held stripe write lock.
+	var targets []int
 	for _, dev := range m.array.Alive() {
-		if m.chunkPresent(id, dev) {
-			continue
+		if !m.chunkPresent(id, dev) {
+			targets = append(targets, dev)
 		}
-		cost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), source)
-		if err != nil {
-			return 0, StatusDegraded, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+	}
+	writeCosts := make([]time.Duration, len(targets))
+	written := make([]bool, len(targets))
+	err := fanChunks(len(targets), meta.chunkLen, func(i int) error {
+		dev := targets[i]
+		cost, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), source)
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 		}
-		writeCosts = append(writeCosts, cost)
-		if !containsInt(meta.replicaDevs, dev) {
+		writeCosts[i] = cost
+		written[i] = true
+		return nil
+	})
+	for i, dev := range targets {
+		if written[i] && !containsInt(meta.replicaDevs, dev) {
 			meta.replicaDevs = append(meta.replicaDevs, dev)
 		}
 	}
+	if err != nil {
+		return 0, StatusDegraded, err
+	}
 	total += simclock.Parallel(writeCosts...)
-	return total, m.statusLocked(id, meta), nil
+	return total, m.status(id, meta), nil
 }
 
 func containsInt(s []int, v int) bool {
@@ -581,23 +729,29 @@ func containsInt(s []int, v int) bool {
 	return false
 }
 
-func (m *Manager) rebuildParityLocked(id ID, meta *stripeMeta) (time.Duration, Status, error) {
+func (m *Manager) rebuildParity(id ID, meta *stripeMeta) (time.Duration, Status, error) {
 	dataChunks := len(meta.dataDevs)
 	k := len(meta.parityDevs)
 	allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
 	fragments := make([][]byte, dataChunks+k)
-	var costs []time.Duration
-	present := 0
-	var missingIdx []int
-	for idx, dev := range allDevs {
-		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+	costs := make([]time.Duration, dataChunks+k)
+	_ = fanChunks(len(allDevs), meta.chunkLen, func(idx int) error {
+		data, cost, err := m.array.Device(allDevs[idx]).Read(flash.ChunkAddr(id))
 		if err != nil {
-			missingIdx = append(missingIdx, idx)
-			continue
+			return nil // missing chunk; reconstructed below if possible
 		}
 		fragments[idx] = data
-		costs = append(costs, cost)
-		present++
+		costs[idx] = cost
+		return nil
+	})
+	present := 0
+	var missingIdx []int
+	for idx := range fragments {
+		if fragments[idx] != nil {
+			present++
+		} else {
+			missingIdx = append(missingIdx, idx)
+		}
 	}
 	if len(missingIdx) == 0 {
 		return simclock.Parallel(costs...), StatusHealthy, nil
@@ -613,39 +767,47 @@ func (m *Manager) rebuildParityLocked(id ID, meta *stripeMeta) (time.Duration, S
 		return 0, 0, fmt.Errorf("stripe %d: %w", id, err)
 	}
 	total := simclock.Parallel(costs...) + simclock.TransferTime(int64(dataChunks*meta.chunkLen), encodeBandwidth)
-	var writeCosts []time.Duration
-	for _, idx := range missingIdx {
+	writeCosts := make([]time.Duration, len(missingIdx))
+	err = fanChunks(len(missingIdx), meta.chunkLen, func(i int) error {
+		idx := missingIdx[i]
 		dev := allDevs[idx]
 		d := m.array.Device(dev)
 		if d.State() != flash.StateHealthy {
-			continue // home device still failed; chunk stays missing
+			return nil // home device still failed; chunk stays missing
 		}
-		cost, err := d.Write(flash.ChunkAddr(id), fragments[idx])
-		if err != nil {
-			return 0, StatusDegraded, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		cost, werr := d.Write(flash.ChunkAddr(id), fragments[idx])
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 		}
-		writeCosts = append(writeCosts, cost)
+		writeCosts[i] = cost
+		return nil
+	})
+	if err != nil {
+		return 0, StatusDegraded, err
 	}
 	total += simclock.Parallel(writeCosts...)
-	return total, m.statusLocked(id, meta), nil
+	return total, m.status(id, meta), nil
 }
 
 // Free releases the stripes' chunks and forgets their metadata. Chunks on
 // failed devices are already gone; freeing is best-effort per device.
 func (m *Manager) Free(ids []ID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.freeLocked(ids)
-}
-
-func (m *Manager) freeLocked(ids []ID) {
 	for _, id := range ids {
+		m.mu.Lock()
 		meta, ok := m.stripes[id]
+		if ok {
+			delete(m.stripes, id)
+		}
+		m.mu.Unlock()
 		if !ok {
 			continue
 		}
-		m.rollbackLocked(id, meta)
-		delete(m.stripes, id)
+		// Wait for in-flight readers of this stripe before deleting its
+		// chunks, so a racing Read sees either the full stripe or
+		// ErrUnknownStripe — never a half-freed one.
+		meta.mu.Lock()
+		m.rollback(id, meta)
+		meta.mu.Unlock()
 	}
 }
 
@@ -663,12 +825,12 @@ type Info struct {
 
 // Describe returns the stripe's accounting info.
 func (m *Manager) Describe(id ID) (Info, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	meta, ok := m.stripes[id]
-	if !ok {
-		return Info{}, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+	meta, err := m.lookup(id)
+	if err != nil {
+		return Info{}, err
 	}
+	meta.mu.RLock()
+	defer meta.mu.RUnlock()
 	return Info{
 		ID:            id,
 		Scheme:        meta.scheme,
@@ -681,37 +843,41 @@ func (m *Manager) Describe(id ID) (Info, error) {
 
 // Totals returns aggregate user and overhead bytes across all live stripes.
 func (m *Manager) Totals() (userBytes, overheadBytes int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	metas := make([]*stripeMeta, 0, len(m.stripes))
 	for _, meta := range m.stripes {
+		metas = append(metas, meta)
+	}
+	m.mu.RUnlock()
+	for _, meta := range metas {
+		meta.mu.RLock()
 		userBytes += meta.userBytes()
 		overheadBytes += meta.overheadBytes()
+		meta.mu.RUnlock()
 	}
 	return userBytes, overheadBytes
 }
 
 // RepairedChunks returns the number of chunks persisted by repair-on-read.
 func (m *Manager) RepairedChunks() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.repairedChunks
+	return m.repairedChunks.Load()
 }
 
 // StripeCount returns the number of live stripes.
 func (m *Manager) StripeCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.stripes)
 }
 
 // IDs returns all live stripe IDs in ascending order (for tests and tools).
 func (m *Manager) IDs() []ID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
 	out := make([]ID, 0, len(m.stripes))
 	for id := range m.stripes {
 		out = append(out, id)
 	}
+	m.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -23,6 +23,10 @@ import (
 // reads": a single-chunk change uses whichever strategy the codec reports
 // as cheaper; multi-chunk changes re-encode directly (their sibling reads
 // amortise across the changed chunks).
+//
+// Each stripe is updated under its own write lock, so updates to one
+// stripe serialise against reads of that stripe but updates to different
+// stripes run concurrently. Chunk IO within a stripe fans out per device.
 
 // UpdateRange overwrites [offset, offset+len(data)) of the object stored in
 // the given stripes (in data order), updating parity in place. It returns
@@ -34,18 +38,17 @@ func (m *Manager) UpdateRange(ids []ID, offset int, data []byte) (time.Duration,
 	if len(data) == 0 {
 		return 0, nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 
 	var total time.Duration
 	pos := 0 // cumulative data offset across stripes
 	remaining := data
 	writeOff := offset
 	for _, id := range ids {
-		meta, ok := m.stripes[id]
-		if !ok {
-			return 0, fmt.Errorf("%w: %d", ErrUnknownStripe, id)
+		meta, err := m.lookup(id)
+		if err != nil {
+			return 0, err
 		}
+		meta.mu.Lock()
 		stripeEnd := pos + meta.dataLen
 		if writeOff < stripeEnd && len(remaining) > 0 {
 			local := writeOff - pos
@@ -53,8 +56,9 @@ func (m *Manager) UpdateRange(ids []ID, offset int, data []byte) (time.Duration,
 			if n > len(remaining) {
 				n = len(remaining)
 			}
-			cost, err := m.updateStripeLocked(id, meta, local, remaining[:n])
+			cost, err := m.updateStripe(id, meta, local, remaining[:n])
 			if err != nil {
+				meta.mu.Unlock()
 				return 0, err
 			}
 			total += cost
@@ -62,6 +66,7 @@ func (m *Manager) UpdateRange(ids []ID, offset int, data []byte) (time.Duration,
 			writeOff += n
 		}
 		pos = stripeEnd
+		meta.mu.Unlock()
 		if len(remaining) == 0 {
 			break
 		}
@@ -73,36 +78,43 @@ func (m *Manager) UpdateRange(ids []ID, offset int, data []byte) (time.Duration,
 	return total, nil
 }
 
-func (m *Manager) updateStripeLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+// updateStripe dispatches one stripe's update. The caller holds the
+// stripe's write lock.
+func (m *Manager) updateStripe(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
 	if meta.scheme.Kind == policy.KindReplicate {
-		return m.updateReplicatedLocked(id, meta, local, data)
+		return m.updateReplicated(id, meta, local, data)
 	}
-	return m.updateParityStripeLocked(id, meta, local, data)
+	return m.updateParityStripe(id, meta, local, data)
 }
 
-func (m *Manager) updateReplicatedLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
-	// Read any live copy, splice, rewrite every live copy.
-	chunk, readCost, err := m.readReplicatedLocked(id, meta)
+func (m *Manager) updateReplicated(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+	// Read any live copy, splice, rewrite every live copy concurrently.
+	chunk, readCost, err := m.readReplicated(id, meta)
 	if err != nil {
 		return 0, err
 	}
 	copy(chunk[local:], data)
-	var writeCosts []time.Duration
-	for _, dev := range meta.replicaDevs {
+	writeCosts := make([]time.Duration, len(meta.replicaDevs))
+	err = fanChunks(len(meta.replicaDevs), meta.chunkLen, func(i int) error {
+		dev := meta.replicaDevs[i]
 		d := m.array.Device(dev)
 		if d.State() != flash.StateHealthy {
-			continue
+			return nil
 		}
-		cost, err := d.Write(flash.ChunkAddr(id), chunk)
-		if err != nil {
-			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		cost, werr := d.Write(flash.ChunkAddr(id), chunk)
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 		}
-		writeCosts = append(writeCosts, cost)
+		writeCosts[i] = cost
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return readCost + simclock.Parallel(writeCosts...), nil
 }
 
-func (m *Manager) updateParityStripeLocked(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
+func (m *Manager) updateParityStripe(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
 	dataChunks := len(meta.dataDevs)
 	k := len(meta.parityDevs)
 	firstChunk := local / meta.chunkLen
@@ -116,62 +128,86 @@ func (m *Manager) updateParityStripeLocked(id ID, meta *stripeMeta, local int, d
 
 	if k == 0 {
 		// No parity to maintain: read-modify-write the touched chunks.
-		return m.updateChunksNoParityLocked(id, meta, local, data, firstChunk, lastChunk)
+		return m.updateChunksNoParity(id, meta, local, data, firstChunk, lastChunk)
 	}
 	if changed == 1 && codec.ChooseUpdateStrategy() == erasure.DeltaParityUpdate {
-		return m.updateDeltaLocked(id, meta, codec, local, data, firstChunk)
+		return m.updateDelta(id, meta, codec, local, data, firstChunk)
 	}
-	return m.updateDirectLocked(id, meta, codec, local, data)
+	return m.updateDirect(id, meta, codec, local, data)
 }
 
-func (m *Manager) updateChunksNoParityLocked(id ID, meta *stripeMeta, local int, data []byte, firstChunk, lastChunk int) (time.Duration, error) {
-	var costs []time.Duration
+func (m *Manager) updateChunksNoParity(id ID, meta *stripeMeta, local int, data []byte, firstChunk, lastChunk int) (time.Duration, error) {
+	// Pre-compute each touched chunk's splice range so the read-modify-
+	// write cycles can fan out independently.
+	type span struct {
+		chunk int
+		lo    int // offset within the chunk
+		data  []byte
+	}
+	var spans []span
 	off := local
 	remaining := data
 	for ci := firstChunk; ci <= lastChunk; ci++ {
-		dev := meta.dataDevs[ci]
-		old, rcost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
-		if err != nil {
-			return 0, fmt.Errorf("%w: stripe %d chunk %d", ErrUnrecoverable, id, ci)
-		}
 		lo := off - ci*meta.chunkLen
 		n := meta.chunkLen - lo
 		if n > len(remaining) {
 			n = len(remaining)
 		}
-		copy(old[lo:], remaining[:n])
-		wcost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), old)
-		if err != nil {
-			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
-		}
-		costs = append(costs, rcost+wcost)
+		spans = append(spans, span{chunk: ci, lo: lo, data: remaining[:n]})
 		off += n
 		remaining = remaining[n:]
+	}
+	costs := make([]time.Duration, len(spans))
+	err := fanChunks(len(spans), meta.chunkLen, func(i int) error {
+		sp := spans[i]
+		dev := meta.dataDevs[sp.chunk]
+		old, rcost, rerr := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		if rerr != nil {
+			return fmt.Errorf("%w: stripe %d chunk %d", ErrUnrecoverable, id, sp.chunk)
+		}
+		copy(old[sp.lo:], sp.data)
+		wcost, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), old)
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
+		}
+		costs[i] = rcost + wcost
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return simclock.Parallel(costs...), nil
 }
 
-// updateDeltaLocked applies delta parity-updating for a single changed
-// chunk: read the old chunk and the old parity, compute the new parity from
-// the delta, write the new chunk and parity.
-func (m *Manager) updateDeltaLocked(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte, chunkIdx int) (time.Duration, error) {
+// updateDelta applies delta parity-updating for a single changed chunk:
+// read the old chunk and the old parity (fanned out), compute the new
+// parity from the delta, write the new chunk and parity (fanned out).
+func (m *Manager) updateDelta(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte, chunkIdx int) (time.Duration, error) {
 	dev := meta.dataDevs[chunkIdx]
-	oldChunk, rcost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
-	if err != nil {
-		// The chunk itself is unavailable: fall back to the direct path,
-		// which reconstructs from survivors.
-		return m.updateDirectLocked(id, meta, codec, local, data)
-	}
-	readCosts := []time.Duration{rcost}
-	oldParity := make([][]byte, len(meta.parityDevs))
-	for j, pdev := range meta.parityDevs {
-		p, cost, err := m.array.Device(pdev).Read(flash.ChunkAddr(id))
-		if err != nil {
-			return m.updateDirectLocked(id, meta, codec, local, data)
+	k := len(meta.parityDevs)
+	// Slot 0 is the data chunk; slots 1..k are parity.
+	chunks := make([][]byte, 1+k)
+	readCosts := make([]time.Duration, 1+k)
+	readErr := fanChunks(1+k, meta.chunkLen, func(i int) error {
+		d := dev
+		if i > 0 {
+			d = meta.parityDevs[i-1]
 		}
-		oldParity[j] = p
-		readCosts = append(readCosts, cost)
+		p, cost, err := m.array.Device(d).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return err
+		}
+		chunks[i] = p
+		readCosts[i] = cost
+		return nil
+	})
+	if readErr != nil {
+		// A needed chunk is unavailable: fall back to the direct path,
+		// which reconstructs from survivors.
+		return m.updateDirect(id, meta, codec, local, data)
 	}
+	oldChunk := chunks[0]
+	oldParity := chunks[1:]
 
 	newChunk := append([]byte(nil), oldChunk...)
 	copy(newChunk[local-chunkIdx*meta.chunkLen:], data)
@@ -181,27 +217,30 @@ func (m *Manager) updateDeltaLocked(id ID, meta *stripeMeta, codec *erasure.Code
 	}
 	encodeCost := simclock.TransferTime(int64(meta.chunkLen), encodeBandwidth)
 
-	var writeCosts []time.Duration
-	wcost, err := m.array.Device(dev).Write(flash.ChunkAddr(id), newChunk)
-	if err != nil {
-		return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
-	}
-	writeCosts = append(writeCosts, wcost)
-	for j, pdev := range meta.parityDevs {
-		cost, err := m.array.Device(pdev).Write(flash.ChunkAddr(id), newParity[j])
-		if err != nil {
-			return 0, fmt.Errorf("stripe %d device %d: %w", id, pdev, err)
+	writeCosts := make([]time.Duration, 1+k)
+	err = fanChunks(1+k, meta.chunkLen, func(i int) error {
+		d, payload := dev, newChunk
+		if i > 0 {
+			d, payload = meta.parityDevs[i-1], newParity[i-1]
 		}
-		writeCosts = append(writeCosts, cost)
+		cost, werr := m.array.Device(d).Write(flash.ChunkAddr(id), payload)
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, d, werr)
+		}
+		writeCosts[i] = cost
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return simclock.Parallel(readCosts...) + encodeCost + simclock.Parallel(writeCosts...), nil
 }
 
-// updateDirectLocked applies direct parity-updating: read the full stripe
+// updateDirect applies direct parity-updating: read the full stripe
 // (reconstructing if degraded), splice the new bytes, re-encode, and write
-// back the changed chunks and all parity.
-func (m *Manager) updateDirectLocked(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte) (time.Duration, error) {
-	stripeData, readCost, err := m.readParityLocked(id, meta)
+// back the changed chunks and all parity (fanned out).
+func (m *Manager) updateDirect(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte) (time.Duration, error) {
+	stripeData, readCost, err := m.readParity(id, meta)
 	if err != nil {
 		return 0, err
 	}
@@ -221,29 +260,32 @@ func (m *Manager) updateDirectLocked(id ID, meta *stripeMeta, codec *erasure.Cod
 
 	firstChunk := local / meta.chunkLen
 	lastChunk := (local + len(data) - 1) / meta.chunkLen
-	var writeCosts []time.Duration
-	for ci := firstChunk; ci <= lastChunk; ci++ {
-		dev := meta.dataDevs[ci]
+	changed := lastChunk - firstChunk + 1
+	k := len(meta.parityDevs)
+	writeCosts := make([]time.Duration, changed+k)
+	err = fanChunks(changed+k, meta.chunkLen, func(i int) error {
+		var dev int
+		var payload []byte
+		if i < changed {
+			ci := firstChunk + i
+			dev, payload = meta.dataDevs[ci], chunks[ci]
+		} else {
+			j := i - changed
+			dev, payload = meta.parityDevs[j], parity[j]
+		}
 		d := m.array.Device(dev)
 		if d.State() != flash.StateHealthy {
-			continue // chunk stays missing; parity below covers it
+			return nil // chunk stays missing; parity covers it
 		}
-		cost, err := d.Write(flash.ChunkAddr(id), chunks[ci])
-		if err != nil {
-			return 0, fmt.Errorf("stripe %d device %d: %w", id, dev, err)
+		cost, werr := d.Write(flash.ChunkAddr(id), payload)
+		if werr != nil {
+			return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 		}
-		writeCosts = append(writeCosts, cost)
-	}
-	for j, pdev := range meta.parityDevs {
-		d := m.array.Device(pdev)
-		if d.State() != flash.StateHealthy {
-			continue
-		}
-		cost, err := d.Write(flash.ChunkAddr(id), parity[j])
-		if err != nil {
-			return 0, fmt.Errorf("stripe %d device %d: %w", id, pdev, err)
-		}
-		writeCosts = append(writeCosts, cost)
+		writeCosts[i] = cost
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return readCost + encodeCost + simclock.Parallel(writeCosts...), nil
 }
