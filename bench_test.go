@@ -11,6 +11,7 @@ package reo
 // timed under `go test -bench`.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -184,6 +185,41 @@ func BenchmarkReadHit(b *testing.B) {
 		if _, res, err := c.Read(id); err != nil || !res.Hit {
 			b.Fatalf("hit path failed: %+v, %v", res, err)
 		}
+	}
+}
+
+// BenchmarkReadHitAllocs measures the context-carrying hit path and reports
+// allocations: with pooled request contexts and leased chunk buffers the
+// steady state must be 0 allocs/op. CI runs this as a smoke check.
+func BenchmarkReadHitAllocs(b *testing.B) {
+	c := benchCache(b)
+	id := UserObject(1)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := c.Seed(id, payload); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Read(id); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the pools before counting.
+	for i := 0; i < 10; i++ {
+		_, res, err := c.ReadCtx(ctx, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := c.ReadCtx(ctx, id)
+		if err != nil || !res.Hit {
+			b.Fatalf("hit path failed: %+v, %v", res, err)
+		}
+		res.Release()
 	}
 }
 

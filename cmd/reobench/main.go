@@ -50,6 +50,8 @@ func run(args []string) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		opstats    = fs.Bool("opstats", false, "print a per-op latency breakdown (read.hit/read.miss/write) after each experiment")
+		timeout    = fs.Duration("timeout", 0, "per-request deadline; expired requests are counted and skipped (0 = none)")
+		cancelRate = fs.Float64("cancel-rate", 0, "fraction of requests issued pre-cancelled, deterministic per seed (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +62,11 @@ func run(args []string) error {
 		Parallelism: *parallel,
 		Objects:     *objects,
 		Requests:    *requests,
+		Timeout:     *timeout,
+		CancelRate:  *cancelRate,
+	}
+	if *cancelRate < 0 || *cancelRate > 1 {
+		return fmt.Errorf("cancel-rate %v outside [0,1]", *cancelRate)
 	}
 	if *opstats {
 		opts.OpStats = metrics.NewOpHistogram()

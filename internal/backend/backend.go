@@ -13,6 +13,7 @@ import (
 
 	"github.com/reo-cache/reo/internal/hdd"
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
 )
 
 // ErrNotFound is returned when an object does not exist in the store.
@@ -56,6 +57,33 @@ func (s *Store) Put(id osd.ObjectID, data []byte) (time.Duration, error) {
 	s.stats.Writes++
 	s.stats.BytesWritten += int64(len(data))
 	return s.spec.AccessCost(int64(len(data))), nil
+}
+
+// PutCtx is Put with a cancellation checkpoint before the disk is touched
+// and per-request attribution. Simulated disk IO is interruptible at whole-
+// object (virtual-clock advance) granularity — once the write starts it
+// completes.
+func (s *Store) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	cost, err := s.Put(id, data)
+	if err == nil {
+		rc.CountBackendWrite()
+	}
+	return cost, err
+}
+
+// GetCtx is Get with a cancellation checkpoint and per-request attribution.
+func (s *Store) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) ([]byte, time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return nil, 0, err
+	}
+	data, cost, err := s.Get(id)
+	if err == nil {
+		rc.CountBackendRead()
+	}
+	return data, cost, err
 }
 
 // Get returns a copy of the object and the virtual-time cost of the disk

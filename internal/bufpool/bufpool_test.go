@@ -1,0 +1,92 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+func TestTierFor(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{0, 0}, {1, 0}, {512, 0}, {513, 1}, {1024, 1},
+		{4096, 3}, {1 << 20, 11}, {1 << 26, 17}, {1<<26 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := tierFor(c.n); got != c.want {
+			t.Errorf("tierFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetReleaseRoundTrip(t *testing.T) {
+	base := Outstanding()
+	b := Get(1000)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", b.Len())
+	}
+	if cap(b.Bytes()) != 1024 {
+		t.Fatalf("cap = %d, want tier size 1024", cap(b.Bytes()))
+	}
+	if Outstanding() != base+1 {
+		t.Fatalf("Outstanding = %d, want %d", Outstanding(), base+1)
+	}
+	for i := range b.Bytes() {
+		b.Bytes()[i] = byte(i)
+	}
+	b.Release()
+	if Outstanding() != base {
+		t.Fatalf("Outstanding after release = %d, want %d", Outstanding(), base)
+	}
+
+	// A re-lease from the same tier must come back at the requested length.
+	b2 := Get(700)
+	defer b2.Release()
+	if b2.Len() != 700 {
+		t.Fatalf("re-lease Len = %d, want 700", b2.Len())
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	b := Get(1<<26 + 1)
+	if b.tier != -1 {
+		t.Fatalf("oversize buffer should be unpooled, tier=%d", b.tier)
+	}
+	if b.Len() != 1<<26+1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Release()
+}
+
+func TestAdopt(t *testing.T) {
+	p := []byte("hello")
+	b := Adopt(p)
+	if &b.Bytes()[0] != &p[0] {
+		t.Fatal("Adopt must wrap the same backing array")
+	}
+	if b.tier != -1 {
+		t.Fatal("adopted buffers must never enter a pool")
+	}
+	b.Release()
+}
+
+func TestNilRelease(t *testing.T) {
+	var b *Buf
+	b.Release() // must not panic
+}
+
+func TestConcurrentLeases(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				b := Get(512 << (g % 4))
+				b.Bytes()[0] = byte(g)
+				b.Release()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

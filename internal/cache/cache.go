@@ -18,6 +18,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,8 +27,10 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/backend"
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 	"github.com/reo-cache/reo/internal/store"
 )
@@ -57,20 +60,25 @@ const (
 // is implemented by *store.Store (in-process target) and by
 // transport.RemoteTarget (a target reached over the initiator protocol),
 // mirroring the paper's osd-initiator/osd-target split.
+//
+// Every data-path method carries the per-request context (*reqctx.Ctx); a
+// nil context means a background or legacy request — never cancelled, no
+// deadline, no attribution.
 type Target interface {
-	// Put writes an object under the policy scheme for class.
-	Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error)
-	// WriteRange applies a partial in-place update and marks the object
+	// PutCtx writes an object under the policy scheme for class.
+	PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error)
+	// WriteRangeCtx applies a partial in-place update and marks the object
 	// dirty.
-	WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error)
-	// Get reads an object; degraded reports on-the-fly reconstruction.
-	Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error)
+	WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error)
+	// GetCtx reads an object into a leased pooled buffer the caller must
+	// Release; degraded reports on-the-fly reconstruction.
+	GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost time.Duration, degraded bool, err error)
 	// Delete removes an object.
 	Delete(id osd.ObjectID) error
 	// MarkClean clears the dirty flag after a flush.
 	MarkClean(id osd.ObjectID) error
-	// Reclassify re-labels (and if needed re-encodes) an object.
-	Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error)
+	// ReclassifyCtx re-labels (and if needed re-encodes) an object.
+	ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error)
 	// Policy returns the target's redundancy policy.
 	Policy() policy.Policy
 	// RawCapacity returns total raw flash bytes.
@@ -179,12 +187,31 @@ type Result struct {
 	// Bytes is the payload size moved to/from the client.
 	Bytes int64
 	// Data is the object content returned to the client (reads only).
+	// When buf is set, Data aliases a pooled buffer and is only valid
+	// until Release is called.
 	Data []byte
 	// Latency is the client-observed virtual time for this request.
 	Latency time.Duration
 	// Background is additional virtual time consumed off the critical
 	// path (admission writes, flushes, reclassification).
 	Background time.Duration
+
+	// buf is the pooled buffer backing Data on cache-hit reads. Misses
+	// share the fill's GC-owned fetch, so buf stays nil there.
+	buf *bufpool.Buf
+}
+
+// Release returns the Result's pooled buffer (if any) for reuse and
+// invalidates Data. Calling it is optional — an unreleased buffer is
+// reclaimed by the garbage collector like any other slice — but the
+// steady-state read path is only allocation-free when results are released.
+// Release is idempotent; Data must not be used afterwards.
+func (r *Result) Release() {
+	if r.buf != nil {
+		r.buf.Release()
+		r.buf = nil
+		r.Data = nil
+	}
 }
 
 // Manager is the object cache manager. All methods are safe for concurrent
@@ -248,6 +275,19 @@ func (m *Manager) disabledLocked() bool {
 // Concurrent misses on the same object coalesce onto a single backend fetch
 // through the fill map.
 func (m *Manager) Read(id osd.ObjectID) (Result, error) {
+	return m.ReadCtx(nil, id)
+}
+
+// ReadCtx is Read under a request context. A request whose deadline has
+// already expired returns context.DeadlineExceeded without touching any
+// device. Cancellation is honoured at chunk boundaries on the hit path and
+// while waiting on a coalesced fill; a fill leader always runs its backend
+// fetch to completion so waiters coalesced behind a cancelled leader still
+// get their data.
+func (m *Manager) ReadCtx(rc *reqctx.Ctx, id osd.ObjectID) (Result, error) {
+	if err := rc.Err(); err != nil {
+		return Result{}, err
+	}
 	m.mu.Lock()
 	m.stats.Reads++
 	m.readsSince++
@@ -257,21 +297,25 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 			e.freq++
 			m.lru.MoveToFront(e.elem)
 			m.mu.Unlock()
-			data, cost, degraded, err := m.cfg.Store.Get(id)
+			buf, cost, degraded, err := m.cfg.Store.GetCtx(rc, id)
 			switch {
 			case err == nil:
+				data := buf.Bytes()
 				res := Result{
 					Hit:      true,
 					Degraded: degraded,
 					Bytes:    int64(len(data)),
 					Data:     data,
 					Latency:  cost + m.netCost(int64(len(data))),
+					buf:      buf,
 				}
 				m.mu.Lock()
 				m.stats.Hits++
 				res.Background += m.maybeRefreshLocked()
 				m.mu.Unlock()
 				return res, nil
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				return Result{}, err
 			case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
 				// The object died with a device; fall through to a miss.
 				m.mu.Lock()
@@ -288,13 +332,20 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 
 	// Coalesce concurrent misses: if another request is already fetching
 	// this object, wait for its result instead of hitting the backend
-	// again.
+	// again. A cancelled waiter abandons the wait; the fill itself
+	// continues for the others.
 	if f, ok := m.fills[id]; ok {
 		m.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-rc.Done():
+			return Result{}, rc.Err()
+		}
 		if f.err != nil {
 			return Result{}, f.err
 		}
+		// No backend attribution here: the leader's fetch served this
+		// waiter, and the read is counted once, on the leader.
 		res := Result{
 			Bytes:   int64(len(f.data)),
 			Data:    f.data,
@@ -308,6 +359,9 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 	}
 
 	// Leader: register the fill, fetch the authoritative copy unlocked.
+	// The fetch deliberately ignores the leader's context — waiters have
+	// coalesced onto it, so it must complete and publish even if the
+	// leader's own request dies meanwhile.
 	f := &fill{done: make(chan struct{})}
 	m.fills[id] = f
 	m.mu.Unlock()
@@ -317,6 +371,8 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 		if errors.Is(err, backend.ErrNotFound) {
 			err = fmt.Errorf("%w: %v", ErrNoBackend, id)
 		}
+	} else {
+		rc.CountBackendRead()
 	}
 	f.data, f.cost, f.err = data, backendCost, err
 
@@ -334,7 +390,11 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 		Latency: backendCost + m.netCost(int64(len(data))),
 	}
 	if !m.disabledLocked() {
-		res.Background += m.admitLocked(id, data, false)
+		// Admission is best-effort background work: the client already has
+		// its data, so a cancellation inside admission is swallowed — the
+		// object simply is not cached this time.
+		cost, _ := m.admitLocked(rc, id, data, false)
+		res.Background += cost
 	}
 	res.Background += m.maybeRefreshLocked()
 	m.mu.Unlock()
@@ -346,11 +406,23 @@ func (m *Manager) Read(id osd.ObjectID) (Result, error) {
 // acknowledged; flushing to the backend happens in the background. With the
 // cache out of service the write goes straight to the backend.
 func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
+	return m.WriteCtx(nil, id, data)
+}
+
+// WriteCtx is Write under a request context. A write cancelled before its
+// data is durably placed returns the context error and is NOT acknowledged:
+// it neither falls back to the backend nor leaves a half-written object (the
+// store's cancellable Put keeps the previous version intact until the new
+// one is fully committed).
+func (m *Manager) WriteCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte) (Result, error) {
+	if err := rc.Err(); err != nil {
+		return Result{}, err
+	}
 	m.mu.Lock()
 	m.stats.Writes++
 	if m.disabledLocked() {
 		m.mu.Unlock()
-		cost, err := m.cfg.Backend.Put(id, data)
+		cost, err := m.cfg.Backend.PutCtx(rc, id, data)
 		if err != nil {
 			return Result{}, err
 		}
@@ -359,13 +431,21 @@ func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 			Latency: cost + m.netCost(int64(len(data))),
 		}, nil
 	}
-	cost := m.admitLocked(id, data, true)
+	cost, admitErr := m.admitLocked(rc, id, data, true)
+	if admitErr != nil {
+		// Cancelled mid-admission. The store left either the previous
+		// version or nothing; in neither case was this write acknowledged,
+		// so surface the cancellation rather than falling back to the
+		// backend on the client's behalf.
+		m.mu.Unlock()
+		return Result{}, admitErr
+	}
 	if _, admitted := m.entries[id]; !admitted {
 		// The cache could not absorb the update (e.g. object larger than
 		// the array). Never acknowledge a write that is stored nowhere:
 		// fall back to a synchronous write-through to the backend.
 		m.mu.Unlock()
-		bcost, err := m.cfg.Backend.Put(id, data)
+		bcost, err := m.cfg.Backend.PutCtx(rc, id, data)
 		if err != nil {
 			return Result{}, err
 		}
@@ -388,8 +468,11 @@ func (m *Manager) Write(id osd.ObjectID, data []byte) (Result, error) {
 // admitLocked inserts (or overwrites) an object in the cache, evicting as
 // needed, and returns the virtual-time cost. Admission failures (object too
 // big, redundancy exhausted with nothing evictable) skip caching silently —
-// the client was already served.
-func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Duration {
+// the client was already served. The returned error is non-nil only for a
+// context cancellation/deadline, so callers can distinguish "not admitted"
+// (best-effort, swallowed on reads) from "the request died" (writes must
+// not acknowledge).
+func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirty bool) (time.Duration, error) {
 	var total time.Duration
 	for {
 		prev, ok := m.entries[id]
@@ -406,9 +489,12 @@ func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Dur
 			m.mu.Lock()
 			continue
 		}
-		if prev.dirty && !dirty {
+		if prev.dirty && (!dirty || rc.CanCancel()) {
 			// Never downgrade a dirty object by overwriting it clean
-			// without a flush.
+			// without a flush. A cancellable dirty overwrite flushes too:
+			// the old entry is dropped from the cache before the new Put,
+			// so if that Put is then cancelled the acknowledged old update
+			// must already be safe in the backend.
 			total += m.flushEntryLocked(prev)
 			continue // the lock was dropped; re-check the entry
 		}
@@ -428,7 +514,7 @@ func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Dur
 	}
 
 	for {
-		cost, err := m.cfg.Store.Put(id, data, class, dirty)
+		cost, err := m.cfg.Store.PutCtx(rc, id, data, class, dirty)
 		total += cost
 		switch {
 		case err == nil:
@@ -438,7 +524,9 @@ func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Dur
 			if dirty {
 				m.dirtyBytes += e.size
 			}
-			return total
+			return total, nil
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return total, err
 		case errors.Is(err, store.ErrRedundancyFull) && class == osd.ClassHotClean:
 			// The reserved redundancy space is full (sense 0x67):
 			// degrade to cold-clean and retry.
@@ -448,13 +536,13 @@ func (m *Manager) admitLocked(id osd.ObjectID, data []byte, dirty bool) time.Dur
 			total += c
 			if !ok {
 				m.stats.AdmissionSkips++
-				return total
+				return total, nil
 			}
 		default:
 			// Includes ErrRedundancyFull for dirty (cannot happen: dirty
 			// bypasses budget) and hard store errors: skip admission.
 			m.stats.AdmissionSkips++
-			return total
+			return total, nil
 		}
 	}
 }
@@ -517,7 +605,10 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 	wantHot := m.hotness(e) >= m.hhot
 	m.mu.Unlock()
 
-	data, readCost, _, err := m.cfg.Store.Get(e.id)
+	// Flushes are background work: they run under a nil (non-cancellable)
+	// context regardless of which request triggered them, because a flush
+	// abandoned halfway would strand acknowledged dirty data.
+	buf, readCost, _, err := m.cfg.Store.GetCtx(nil, e.id)
 	total := readCost
 	flushed := false
 	clearDirty := false
@@ -526,15 +617,18 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 		// the update is gone — exactly the catastrophic case the paper
 		// protects against. Nothing to flush.
 		clearDirty = true
-	} else if _, perr := m.cfg.Backend.Put(e.id, data); perr == nil {
-		// The backend write itself is asynchronous to the cache server
-		// (it runs on the storage server's disk, overlapped with request
-		// service), so it is not charged to the cache's virtual clock;
-		// only the flash read above and the re-encode below consume
-		// cache-side time.
-		_ = m.cfg.Store.MarkClean(e.id)
-		flushed = true
-		clearDirty = true
+	} else {
+		if _, perr := m.cfg.Backend.Put(e.id, buf.Bytes()); perr == nil {
+			// The backend write itself is asynchronous to the cache server
+			// (it runs on the storage server's disk, overlapped with request
+			// service), so it is not charged to the cache's virtual clock;
+			// only the flash read above and the re-encode below consume
+			// cache-side time.
+			_ = m.cfg.Store.MarkClean(e.id)
+			flushed = true
+			clearDirty = true
+		}
+		buf.Release()
 	}
 
 	// Re-label (and re-encode) the now-clean object per its hotness.
@@ -545,7 +639,7 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 		if wantHot {
 			class = osd.ClassHotClean
 		}
-		if cost, rerr := m.cfg.Store.Reclassify(e.id, class); rerr == nil {
+		if cost, rerr := m.cfg.Store.ReclassifyCtx(nil, e.id, class); rerr == nil {
 			reclassCost = cost
 			reclassOK = true
 		}
@@ -718,7 +812,7 @@ func (m *Manager) refreshLocked() time.Duration {
 		if want == e.class {
 			continue
 		}
-		cost, err := m.cfg.Store.Reclassify(e.id, want)
+		cost, err := m.cfg.Store.ReclassifyCtx(nil, e.id, want)
 		if err != nil {
 			if errors.Is(err, store.ErrRedundancyFull) || errors.Is(err, store.ErrCacheFull) {
 				continue

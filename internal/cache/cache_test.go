@@ -433,7 +433,7 @@ func TestOverwriteDirtyWithCleanFlushesFirst(t *testing.T) {
 	// silently discard the dirty update.
 	f.seed(t, 1, 10_000) // backend now has an older version
 	f.cache.mu.Lock()
-	f.cache.admitLocked(oid(1), randBytes(9, 10_000), false)
+	f.cache.admitLocked(nil, oid(1), randBytes(9, 10_000), false)
 	f.cache.mu.Unlock()
 	got, _, err := f.backend.Get(oid(1))
 	if err != nil {

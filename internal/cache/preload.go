@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
 )
 
 // Preload bulk-admits objects from the backend into the cache without
@@ -16,7 +17,17 @@ import (
 // It returns the number of objects admitted and the total virtual-time
 // cost, which the caller should charge as background work.
 func (m *Manager) Preload(ids []osd.ObjectID) (admitted int, cost time.Duration, err error) {
+	return m.PreloadCtx(nil, ids)
+}
+
+// PreloadCtx is Preload under a request context, checked between objects:
+// a cancelled warm-up stops cleanly at the next object boundary with
+// everything admitted so far intact.
+func (m *Manager) PreloadCtx(rc *reqctx.Ctx, ids []osd.ObjectID) (admitted int, cost time.Duration, err error) {
 	for _, id := range ids {
+		if cerr := rc.Err(); cerr != nil {
+			return admitted, cost, cerr
+		}
 		m.mu.Lock()
 		if m.disabledLocked() {
 			m.mu.Unlock()
@@ -64,7 +75,7 @@ func (m *Manager) admitNoEvictLocked(id osd.ObjectID, data []byte) (time.Duratio
 	}
 	var total time.Duration
 	for {
-		cost, err := m.cfg.Store.Put(id, data, class, false)
+		cost, err := m.cfg.Store.PutCtx(nil, id, data, class, false)
 		total += cost
 		switch {
 		case err == nil:

@@ -1,12 +1,14 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"github.com/reo-cache/reo/internal/backend"
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/store"
 )
 
@@ -17,6 +19,17 @@ import (
 // is not cached, the authoritative copy is fetched, merged, and admitted
 // dirty. Out-of-range updates are rejected.
 func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, error) {
+	return m.WriteAtCtx(nil, id, offset, data)
+}
+
+// WriteAtCtx is WriteAt under a request context. Cancel points sit before
+// the in-place update begins and at the store's chunk boundaries on the
+// merge-rewrite paths; as with WriteCtx, a cancelled update is not
+// acknowledged and never leaves a torn object.
+func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (Result, error) {
+	if err := rc.Err(); err != nil {
+		return Result{}, err
+	}
 	m.mu.Lock()
 	m.stats.Writes++
 
@@ -25,6 +38,9 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 		return m.writeAtBackend(id, offset, data)
 	}
 
+	// bg accumulates flush work triggered while renegotiating placement;
+	// it is charged as background time on whichever outcome we return.
+	var bg time.Duration
 	for {
 		if e, ok := m.entries[id]; ok {
 			if e.flushing {
@@ -36,7 +52,7 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 				m.mu.Lock()
 				continue
 			}
-			cost, err := m.cfg.Store.WriteRange(id, offset, data)
+			cost, err := m.cfg.Store.WriteRangeCtx(rc, id, offset, data)
 			switch {
 			case err == nil:
 				if !e.dirty {
@@ -46,13 +62,17 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 				e.class = osd.ClassDirty
 				m.lru.MoveToFront(e.elem)
 				res := Result{
-					Hit:     true,
-					Bytes:   int64(len(data)),
-					Latency: cost + m.netCost(int64(len(data))),
+					Hit:        true,
+					Bytes:      int64(len(data)),
+					Latency:    cost + m.netCost(int64(len(data))),
+					Background: bg,
 				}
 				res.Background += m.maybeFlushLocked()
 				m.mu.Unlock()
 				return res, nil
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				m.mu.Unlock()
+				return Result{}, err
 			case errors.Is(err, store.ErrOutOfRange):
 				m.mu.Unlock()
 				return Result{}, err
@@ -61,6 +81,14 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 				m.stats.LostObjects++
 				// Fall through to the uncached path.
 			case errors.Is(err, store.ErrCacheFull):
+				if e.dirty && rc.CanCancel() {
+					// The merge path below drops the entry before
+					// re-admitting; flush first so a cancellation during
+					// the re-admit cannot strand the acknowledged dirty
+					// update (mirrors admitLocked's dirty-overwrite rule).
+					bg += m.flushEntryLocked(e)
+					continue
+				}
 				// In-place growth impossible: merge and go through the full
 				// write path (evictions, fallback).
 				merged, mcost, err := m.mergeLocked(id, offset, data)
@@ -70,12 +98,16 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 				}
 				m.dropEntryLocked(e)
 				_ = m.cfg.Store.Delete(id)
-				cost := m.admitLocked(id, merged, true)
+				cost, admitErr := m.admitLocked(rc, id, merged, true)
 				m.mu.Unlock()
+				if admitErr != nil {
+					return Result{}, admitErr
+				}
 				return Result{
-					Hit:     true,
-					Bytes:   int64(len(data)),
-					Latency: mcost + cost + m.netCost(int64(len(data))),
+					Hit:        true,
+					Bytes:      int64(len(data)),
+					Latency:    mcost + cost + m.netCost(int64(len(data))),
+					Background: bg,
 				}, nil
 			default:
 				m.mu.Unlock()
@@ -104,23 +136,28 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 			continue
 		}
 		m.stats.Misses++
-		cost := m.admitLocked(id, full, true)
+		cost, admitErr := m.admitLocked(rc, id, full, true)
+		if admitErr != nil {
+			m.mu.Unlock()
+			return Result{}, admitErr
+		}
 		if _, admitted := m.entries[id]; !admitted {
 			m.mu.Unlock()
-			bcost, err := m.cfg.Backend.Put(id, full)
+			bcost, err := m.cfg.Backend.PutCtx(rc, id, full)
 			if err != nil {
 				return Result{}, err
 			}
 			return Result{
 				Bytes:      int64(len(data)),
 				Latency:    fetchCost + bcost + m.netCost(int64(len(data))),
-				Background: cost,
+				Background: bg + cost,
 			}, nil
 		}
 		res := Result{
-			Hit:     true,
-			Bytes:   int64(len(data)),
-			Latency: fetchCost + cost + m.netCost(int64(len(data))),
+			Hit:        true,
+			Bytes:      int64(len(data)),
+			Latency:    fetchCost + cost + m.netCost(int64(len(data))),
+			Background: bg,
 		}
 		res.Background += m.maybeFlushLocked()
 		m.mu.Unlock()
@@ -129,12 +166,16 @@ func (m *Manager) WriteAt(id osd.ObjectID, offset int64, data []byte) (Result, e
 }
 
 // mergeLocked reads the object's current cached content and applies the
-// partial update in memory.
+// partial update in memory. The returned slice is freshly allocated (the
+// merge result outlives any pooled lease).
 func (m *Manager) mergeLocked(id osd.ObjectID, offset int64, data []byte) ([]byte, time.Duration, error) {
-	full, cost, _, err := m.cfg.Store.Get(id)
+	buf, cost, _, err := m.cfg.Store.GetCtx(nil, id)
 	if err != nil {
 		return nil, 0, err
 	}
+	full := make([]byte, buf.Len())
+	copy(full, buf.Bytes())
+	buf.Release()
 	if offset < 0 || offset+int64(len(data)) > int64(len(full)) {
 		return nil, 0, store.ErrOutOfRange
 	}

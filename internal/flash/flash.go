@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 )
 
@@ -204,6 +205,60 @@ func (d *Device) Read(addr ChunkAddr) ([]byte, time.Duration, error) {
 	return out, d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth), nil
 }
 
+// WriteCtx is Write with a cancellation checkpoint: device IO is
+// interruptible at chunk granularity, so the request context is consulted
+// once before the chunk lands and the write is attributed to the request.
+// A cancelled request never leaves a partial chunk.
+func (d *Device) WriteCtx(rc *reqctx.Ctx, addr ChunkAddr, data []byte) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	cost, err := d.Write(addr, data)
+	if err == nil {
+		rc.CountDeviceWrite(int64(len(data)))
+	}
+	return cost, err
+}
+
+// ReadCtx is Read with a cancellation checkpoint and per-request
+// attribution.
+func (d *Device) ReadCtx(rc *reqctx.Ctx, addr ChunkAddr) ([]byte, time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return nil, 0, err
+	}
+	data, cost, err := d.Read(addr)
+	if err == nil {
+		rc.CountDeviceRead(int64(len(data)))
+	}
+	return data, cost, err
+}
+
+// ReadInto copies the chunk at addr into dst without allocating, returning
+// the bytes copied (min of dst length and the stored chunk length) and the
+// virtual-time cost. Cost and IO counters are charged on the full stored
+// chunk — the device always transfers whole chunks; dst only bounds how much
+// of it the caller keeps — so ReadInto and Read are indistinguishable to the
+// clock. The request context is checked before the IO starts.
+func (d *Device) ReadInto(rc *reqctx.Ctx, addr ChunkAddr, dst []byte) (int, time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != StateHealthy {
+		return 0, 0, ErrDeviceFailed
+	}
+	data, ok := d.data[addr]
+	if !ok {
+		return 0, 0, ErrChunkNotFound
+	}
+	n := copy(dst, data)
+	d.stats.ReadOps++
+	d.stats.BytesRead += int64(len(data))
+	rc.CountDeviceRead(int64(len(data)))
+	return n, d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth), nil
+}
+
 // Has reports whether the chunk is present and readable, without charging
 // cost or touching IO counters. Failed devices hold nothing.
 func (d *Device) Has(addr ChunkAddr) bool {
@@ -309,8 +364,16 @@ func (a *Array) Alive() []int {
 	return out
 }
 
-// AliveCount returns the number of healthy devices.
-func (a *Array) AliveCount() int { return len(a.Alive()) }
+// AliveCount returns the number of healthy devices without allocating.
+func (a *Array) AliveCount() int {
+	n := 0
+	for _, d := range a.devices {
+		if d.State() == StateHealthy {
+			n++
+		}
+	}
+	return n
+}
 
 // FailDevice takes slot i offline.
 func (a *Array) FailDevice(i int) error {

@@ -34,6 +34,20 @@ type Options struct {
 	// OpStats, when set, aggregates per-op request latencies across every
 	// measured run of the experiment (reobench -opstats).
 	OpStats *metrics.OpHistogram
+	// Timeout and CancelRate are the request-lifecycle knobs (reobench
+	// -timeout / -cancel-rate), applied to every measured run. Zero values
+	// keep the legacy non-context replay path.
+	Timeout    time.Duration
+	CancelRate float64
+}
+
+// runConfig stamps the option-level instrumentation and request-lifecycle
+// knobs onto one run's schedule.
+func (o Options) runConfig(cfg RunConfig) RunConfig {
+	cfg.OpStats = o.OpStats
+	cfg.Timeout = o.Timeout
+	cfg.CancelRate = o.CancelRate
+	return cfg
 }
 
 func (o *Options) applyDefaults() {
@@ -118,7 +132,7 @@ func NormalRun(loc workload.Locality, opts Options) ([]NormalRunRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
+				res, err := Run(sys, tr, opts.runConfig(RunConfig{}))
 				if err != nil {
 					return fmt.Errorf("%s @%d%%: %w", pol.Name(), pct, err)
 				}
@@ -174,7 +188,7 @@ func SpaceEfficiency(opts Options) ([]SpaceRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
+				res, err := Run(sys, tr, opts.runConfig(RunConfig{}))
 				if err != nil {
 					return err
 				}
@@ -246,7 +260,7 @@ func FailureResistance(opts Options) ([]FailureRow, error) {
 			if err != nil {
 				return err
 			}
-			res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: failAt, OpStats: opts.OpStats})
+			res, err := Run(sys, tr, opts.runConfig(RunConfig{Warmup: true, FailAt: failAt}))
 			if err != nil {
 				return fmt.Errorf("%s: %w", pol.Name(), err)
 			}
@@ -334,7 +348,7 @@ func DirtyDataProtection(opts Options) ([]WriteRow, error) {
 				if err != nil {
 					return err
 				}
-				res, err := Run(sys, tr, RunConfig{Warmup: true, OpStats: opts.OpStats})
+				res, err := Run(sys, tr, opts.runConfig(RunConfig{Warmup: true}))
 				if err != nil {
 					return fmt.Errorf("%s @%d%% writes: %w", pol.Name(), ratio, err)
 				}
@@ -432,14 +446,13 @@ func RecoveryAblation(opts Options) ([]RecoveryRow, error) {
 		onSpare := func() {
 			importantFirst = importantFirstPct(sys.Store)
 		}
-		res, err := Run(sys, tr, RunConfig{
+		res, err := Run(sys, tr, opts.runConfig(RunConfig{
 			Warmup:                    true,
 			FailAt:                    map[int]int{failIdx: 0},
 			SpareAt:                   map[int]int{failIdx: 0},
 			RecoveryObjectsPerRequest: 2,
 			OnSpare:                   onSpare,
-			OpStats:                   opts.OpStats,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -523,7 +536,7 @@ func HotnessAblation(opts Options) ([]HotnessRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(sys, tr, RunConfig{Warmup: true, FailAt: map[int]int{failIdx: 0}, OpStats: opts.OpStats})
+		res, err := Run(sys, tr, opts.runConfig(RunConfig{Warmup: true, FailAt: map[int]int{failIdx: 0}}))
 		if err != nil {
 			return nil, err
 		}
@@ -568,7 +581,7 @@ func ChunkAblation(opts Options) ([]ChunkRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats})
+		res, err := Run(sys, tr, opts.runConfig(RunConfig{}))
 		if err != nil {
 			return nil, err
 		}
@@ -619,7 +632,7 @@ func WearAblation(opts Options) ([]WearRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := Run(sys, tr, RunConfig{OpStats: opts.OpStats}); err != nil {
+		if _, err := Run(sys, tr, opts.runConfig(RunConfig{})); err != nil {
 			return nil, err
 		}
 		arr := sys.Store.Array()

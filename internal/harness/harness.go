@@ -6,6 +6,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 	"github.com/reo-cache/reo/internal/store"
 	"github.com/reo-cache/reo/internal/workload"
@@ -108,6 +110,31 @@ func BuildSystem(cfg SystemConfig, tr *workload.Trace) (*System, error) {
 	}, nil
 }
 
+// serveWithLifecycle issues one request under a per-request context built
+// from the schedule's Timeout/CancelRate knobs: a pooled reqctx carrying a
+// real-time deadline, pre-cancelled for the deterministic CancelRate share of
+// requests.
+func serveWithLifecycle(sys *System, cfg RunConfig, cancelRng *rand.Rand, write bool,
+	id osd.ObjectID, tr *workload.Trace, obj, version int) (cache.Result, error) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if cancelRng != nil && cancelRng.Float64() < cfg.CancelRate {
+		cancel() // the client abandoned this request before service
+	}
+	rc := reqctx.Acquire(ctx)
+	defer reqctx.Release(rc)
+	if write {
+		return sys.Cache.WriteCtx(rc, id, Payload(tr, obj, version))
+	}
+	return sys.Cache.ReadCtx(rc, id)
+}
+
 // objectID maps a trace object index to its OSD identity.
 func objectID(obj int) osd.ObjectID {
 	return osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID + uint64(obj)}
@@ -158,6 +185,16 @@ type RunConfig struct {
 	// by operation ("read.hit", "read.miss", "write") for per-path tail
 	// analysis. The histogram may be shared across concurrent runs.
 	OpStats *metrics.OpHistogram
+	// Timeout, when positive, attaches a real-time deadline to every
+	// request. Requests that miss it are counted (RunResult, OpStats) and
+	// skipped, not fatal.
+	Timeout time.Duration
+	// CancelRate, when positive, issues that fraction of requests with an
+	// already-cancelled context — the client abandoned the request before
+	// service. Selection is deterministic per trace seed. When both Timeout
+	// and CancelRate are zero, the replay uses the legacy non-context calls
+	// and is byte-identical to the pre-lifecycle harness.
+	CancelRate float64
 }
 
 // Phase is one measured segment of a run.
@@ -186,6 +223,10 @@ type RunResult struct {
 	// RecoveryDoneRequest is the request index at which background
 	// recovery drained its queue, or -1 if recovery never ran/finished.
 	RecoveryDoneRequest int
+	// CancelledOps and DeadlineOps count requests aborted by the request
+	// lifecycle (RunConfig.CancelRate / RunConfig.Timeout).
+	CancelledOps int64
+	DeadlineOps  int64
 	// Elapsed is the measured run's virtual duration.
 	Elapsed time.Duration
 }
@@ -209,6 +250,14 @@ func Run(sys *System, tr *workload.Trace, cfg RunConfig) (*RunResult, error) {
 // (failure schedules are ignored during warmup).
 func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) error {
 	measured := res != nil
+	lifecycle := cfg.Timeout > 0 || cfg.CancelRate > 0
+	var cancelRng *rand.Rand
+	if cfg.CancelRate > 0 {
+		// A dedicated stream keeps cancellation selection independent of
+		// trace synthesis: the same requests are cancelled for every policy
+		// under the same seed.
+		cancelRng = rand.New(rand.NewSource(tr.Config.Seed*2_654_435_761 + 0x5eed))
+	}
 	var (
 		readCol, allCol      *metrics.Collector
 		totalReads, totalAll *metrics.Collector
@@ -281,22 +330,47 @@ func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) erro
 			result cache.Result
 			err    error
 		)
-		if req.Write {
+		if lifecycle {
+			result, err = serveWithLifecycle(sys, cfg, cancelRng, req.Write, id, tr, req.Object, req.Version)
+		} else if req.Write {
 			result, err = sys.Cache.Write(id, Payload(tr, req.Object, req.Version))
 		} else {
 			result, err = sys.Cache.Read(id)
-			if err == nil && cfg.VerifyPayloads {
-				want := Payload(tr, req.Object, req.Version)
-				if !bytes.Equal(result.Data, want) {
-					return fmt.Errorf("request %d: object %d version %d content mismatch",
-						i, req.Object, req.Version)
-				}
+		}
+		if err == nil && !req.Write && cfg.VerifyPayloads {
+			want := Payload(tr, req.Object, req.Version)
+			if !bytes.Equal(result.Data, want) {
+				return fmt.Errorf("request %d: object %d version %d content mismatch",
+					i, req.Object, req.Version)
 			}
 		}
 		if err != nil {
+			if lifecycle && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				// An abandoned or expired request is an outcome, not a run
+				// failure: tally it and move on to the next request.
+				if res != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						res.DeadlineOps++
+					} else {
+						res.CancelledOps++
+					}
+				}
+				if measured && cfg.OpStats != nil {
+					op := "write"
+					if !req.Write {
+						op = "read"
+					}
+					cfg.OpStats.RecordOutcome(op, err)
+				}
+				continue
+			}
 			return fmt.Errorf("request %d (object %d): %w", i, req.Object, err)
 		}
 		sys.Clock.Advance(result.Latency + result.Background)
+		// Payload verification is done; return the hit path's pooled buffer
+		// so the replay's steady state stays allocation-free. The metric
+		// recording below only reads scalar fields.
+		result.Release()
 
 		if measured {
 			if !req.Write {

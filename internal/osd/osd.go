@@ -135,6 +135,11 @@ const (
 	SenseRecoveryStarts SenseCode = 0x65
 	SenseRecoveryEnds   SenseCode = 0x66
 	SenseRedundancyFull SenseCode = 0x67
+	// SenseCancelled and SenseDeadline extend Table III for the request
+	// lifecycle: commands abandoned by the client before completion and
+	// commands whose deadline passed before (or while) the target ran them.
+	SenseCancelled SenseCode = 0x68
+	SenseDeadline  SenseCode = 0x69
 )
 
 // String returns the description from Table III.
@@ -154,6 +159,10 @@ func (s SenseCode) String() string {
 		return "recovery ends"
 	case SenseRedundancyFull:
 		return "the allocated space for data redundancy is full"
+	case SenseCancelled:
+		return "the command was cancelled"
+	case SenseDeadline:
+		return "the command deadline was exceeded"
 	default:
 		return fmt.Sprintf("SenseCode(%#x)", int(s))
 	}

@@ -1,11 +1,15 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/stripe"
 )
 
@@ -111,12 +115,41 @@ func (s *Store) RecoveryPending() []osd.ObjectID {
 // freed and skipped; objects already healthy (e.g. re-put by the cache since
 // queueing) are skipped at no cost.
 func (s *Store) RecoverStep(maxObjects int) (cost time.Duration, rebuilt int, done bool, err error) {
+	return s.RecoverStepCtx(nil, maxObjects)
+}
+
+// RecoverStepCtx is RecoverStep driven by a request context. A Background-
+// priority context turns the step into a good citizen: between objects it
+// checks for cancellation and — when on-demand requests are registered
+// in-flight (see trackOnDemand) — drops the store lock so they can run,
+// reacquiring it afterwards. The rebuild queue is consistent at every object
+// boundary, so yielding mid-step is safe. Legacy callers (nil context) keep
+// the original hold-the-lock-for-the-whole-step behaviour.
+func (s *Store) RecoverStepCtx(rc *reqctx.Ctx, maxObjects int) (cost time.Duration, rebuilt int, done bool, err error) {
 	if maxObjects <= 0 {
 		return 0, 0, !s.RecoveryActive(), nil
 	}
+	yielding := rc != nil && !rc.OnDemand()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for rebuilt < maxObjects && len(s.queue) > 0 {
+		if yielding {
+			if cerr := rc.Err(); cerr != nil {
+				return cost, rebuilt, !s.recovering, cerr
+			}
+			// Defer to foreground traffic: release the lock until the
+			// in-flight on-demand requests have drained. They increment
+			// the gauge before queueing on s.mu, so progress is visible
+			// here even while we hold the lock.
+			for s.onDemand.Load() > 0 {
+				s.mu.Unlock()
+				runtime.Gosched()
+				s.mu.Lock()
+				if cerr := rc.Err(); cerr != nil {
+					return cost, rebuilt, !s.recovering, cerr
+				}
+			}
+		}
 		id := s.queue[0]
 		s.queue = s.queue[1:]
 		obj, ok := s.objects[id]
@@ -130,9 +163,15 @@ func (s *Store) RecoverStep(maxObjects int) (cost time.Duration, rebuilt int, do
 			s.freeObjectLocked(obj)
 			continue
 		}
-		c, rebuildErr := s.rebuildObjectLocked(obj)
+		c, rebuildErr := s.rebuildObjectLocked(rc, obj)
 		cost += c
 		if rebuildErr != nil {
+			if errors.Is(rebuildErr, context.Canceled) || errors.Is(rebuildErr, context.DeadlineExceeded) {
+				// Cancelled mid-object: requeue it untouched — the stripes
+				// rebuilt so far only gained redundancy.
+				s.queue = append([]osd.ObjectID{id}, s.queue...)
+				return cost, rebuilt, !s.recovering, rebuildErr
+			}
 			// A stripe crossed from degraded to lost between the status
 			// check and the rebuild (second failure): free and move on.
 			s.freeObjectLocked(obj)
@@ -147,12 +186,15 @@ func (s *Store) RecoverStep(maxObjects int) (cost time.Duration, rebuilt int, do
 	return cost, rebuilt, !s.recovering, nil
 }
 
-func (s *Store) rebuildObjectLocked(obj *object) (time.Duration, error) {
+func (s *Store) rebuildObjectLocked(rc *reqctx.Ctx, obj *object) (time.Duration, error) {
 	var total time.Duration
 	for _, sid := range obj.stripes {
-		c, status, err := s.stripes.Rebuild(sid)
+		c, status, err := s.stripes.RebuildCtx(rc, sid)
 		total += c
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return total, err
+			}
 			return total, fmt.Errorf("object %v: %w", obj.id, err)
 		}
 		if status == stripe.StatusLost {

@@ -20,11 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/stripe"
 )
 
@@ -137,7 +140,28 @@ type Store struct {
 	// recoveryEnded latches when the rebuild queue drains; the next
 	// query command observes sense 0x66 ("recovery ends") once.
 	recoveryEnded bool
+
+	// onDemand counts in-flight on-demand (foreground) requests. It is
+	// incremented before the request queues on s.mu so background recovery
+	// holding the lock can see the demand and yield between objects
+	// (§IV.D: on-demand requests run ahead of background rebuild).
+	onDemand atomic.Int64
 }
+
+// trackOnDemand registers an in-flight on-demand request for the duration of
+// the returned func. Background and legacy (nil-context) requests are not
+// tracked: only prioritised foreground work should preempt recovery.
+func (s *Store) trackOnDemand(rc *reqctx.Ctx) func() {
+	if !rc.OnDemand() {
+		return func() {}
+	}
+	s.onDemand.Add(1)
+	return func() { s.onDemand.Add(-1) }
+}
+
+// OnDemandInFlight reports the number of registered in-flight on-demand
+// requests (exposed for tests of recovery deference).
+func (s *Store) OnDemandInFlight() int64 { return s.onDemand.Load() }
 
 // ObjectStatus is the §IV.D three-way classification plus absence.
 type ObjectStatus int
@@ -223,26 +247,53 @@ func (s *Store) Policy() policy.Policy { return s.cfg.Policy }
 // Put writes (or overwrites) an object with the given class, applying the
 // policy's redundancy scheme. It returns the virtual-time IO cost.
 func (s *Store) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	return s.PutCtx(nil, id, data, class, dirty)
+}
+
+// PutCtx is Put under a request context. When the request is cancellable the
+// new version is written *before* the previous one is freed, so a
+// cancellation (or any mid-write failure) leaves the previous version fully
+// intact — at the price of transiently holding both copies. Non-cancellable
+// requests keep the legacy free-first order, whose space reuse the
+// steady-state experiments depend on.
+func (s *Store) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
 	if !class.Valid() {
 		return 0, fmt.Errorf("store: invalid class %d", class)
 	}
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	scheme := s.cfg.Policy.SchemeFor(class)
 	if err := s.checkBudgetLocked(id, class, scheme, len(data)); err != nil {
 		return 0, err
 	}
-	// Free a previous version first so its space is reusable.
-	if prev, ok := s.objects[id]; ok {
+	prev, hadPrev := s.objects[id]
+	writeFirst := hadPrev && rc.CanCancel()
+	if hadPrev && !writeFirst {
+		// Free the previous version first so its space is reusable.
 		s.stripes.Free(prev.stripes)
 	}
-	ids, cost, err := s.stripes.Write(data, scheme)
+	ids, cost, err := s.stripes.WriteCtx(rc, data, scheme)
 	if err != nil {
+		if writeFirst {
+			// The previous version was never touched; the object survives
+			// the aborted overwrite unchanged.
+			if errors.Is(err, flash.ErrDeviceFull) {
+				return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
+			}
+			return 0, err
+		}
 		delete(s.objects, id)
 		if errors.Is(err, flash.ErrDeviceFull) {
 			return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
 		}
 		return 0, err
+	}
+	if writeFirst {
+		s.stripes.Free(prev.stripes)
 	}
 	s.objects[id] = &object{id: id, class: class, size: len(data), dirty: dirty, stripes: ids}
 	if s.dir.Exists(id) {
@@ -353,6 +404,51 @@ func (s *Store) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded 
 	return data, cost, degraded, nil
 }
 
+// GetCtx reads an object into a leased pooled buffer. The caller owns the
+// returned buffer and must Release it exactly once when done with the bytes.
+// A request whose deadline has already expired (or whose context is already
+// cancelled) returns before any device is touched. Semantics otherwise match
+// Get; the healthy path performs no per-request heap allocation.
+func (s *Store) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost time.Duration, degraded bool, err error) {
+	if err := rc.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	defer s.trackOnDemand(rc)()
+	s.mu.RLock()
+	obj, ok := s.objects[id]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, 0, false, fmt.Errorf("%w: %v", ErrNotFound, id)
+	}
+	for _, sid := range obj.stripes {
+		st, serr := s.stripes.Status(sid)
+		if serr != nil {
+			s.mu.RUnlock()
+			return nil, 0, false, serr
+		}
+		if st != stripe.StatusHealthy {
+			degraded = true
+			break
+		}
+	}
+	buf = bufpool.Get(obj.size)
+	_, cost, err = s.stripes.ReadInto(rc, obj.stripes, obj.size, buf.Bytes())
+	s.mu.RUnlock()
+	if err != nil {
+		buf.Release()
+		if errors.Is(err, stripe.ErrUnrecoverable) {
+			s.mu.Lock()
+			if cur, ok := s.objects[id]; ok && cur == obj {
+				s.freeObjectLocked(obj)
+			}
+			s.mu.Unlock()
+			return nil, 0, false, fmt.Errorf("%w: %v", ErrCorrupted, id)
+		}
+		return nil, 0, false, err
+	}
+	return buf, cost, degraded, nil
+}
+
 // Delete removes the object and frees its stripes.
 func (s *Store) Delete(id osd.ObjectID) error {
 	s.mu.Lock()
@@ -391,9 +487,20 @@ func (s *Store) SetClass(id osd.ObjectID, class osd.Class) error {
 // class to a different redundancy scheme, re-encodes the object in place
 // (read + rewrite). It returns the IO cost.
 func (s *Store) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
+	return s.ReclassifyCtx(nil, id, class)
+}
+
+// ReclassifyCtx is Reclassify under a request context. As with PutCtx, a
+// cancellable request re-encodes write-first so an abort mid-rewrite leaves
+// the object readable under its old scheme.
+func (s *Store) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
 	if !class.Valid() {
 		return 0, fmt.Errorf("store: invalid class %d", class)
 	}
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obj, ok := s.objects[id]
@@ -417,15 +524,29 @@ func (s *Store) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, err
 		}
 		return 0, err
 	}
-	s.stripes.Free(obj.stripes)
-	ids, writeCost, err := s.stripes.Write(data, newScheme)
+	writeFirst := rc.CanCancel()
+	if !writeFirst {
+		s.stripes.Free(obj.stripes)
+	}
+	ids, writeCost, err := s.stripes.WriteCtx(rc, data, newScheme)
 	if err != nil {
+		if writeFirst {
+			// Old encoding untouched; the reclassification simply did not
+			// happen.
+			if errors.Is(err, flash.ErrDeviceFull) {
+				return 0, fmt.Errorf("%w: reclassify %v", ErrCacheFull, id)
+			}
+			return 0, err
+		}
 		delete(s.objects, id)
 		_ = s.dir.Remove(id)
 		if errors.Is(err, flash.ErrDeviceFull) {
 			return 0, fmt.Errorf("%w: reclassify %v", ErrCacheFull, id)
 		}
 		return 0, err
+	}
+	if writeFirst {
+		s.stripes.Free(obj.stripes)
 	}
 	obj.stripes = ids
 	obj.class = class

@@ -7,6 +7,7 @@ import (
 
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
 )
 
 // ErrOutOfRange is returned when a partial write falls outside the object.
@@ -26,6 +27,20 @@ var ErrOutOfRange = errors.New("store: write range outside object bounds")
 //
 // It returns the virtual-time IO cost.
 func (s *Store) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+	return s.WriteRangeCtx(nil, id, offset, data)
+}
+
+// WriteRangeCtx is WriteRange under a request context. The scheme-change
+// path already writes the new copy before freeing the old, so cancellation
+// at any chunk boundary leaves either the old object or the fully written
+// new one — never a torn middle state. In-place same-scheme updates are not
+// cancellable mid-stripe (a half-updated stripe would corrupt parity); the
+// context is only consulted before the update begins.
+func (s *Store) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obj, ok := s.objects[id]
@@ -67,7 +82,7 @@ func (s *Store) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Dur
 	}
 	copy(full[offset:], data)
 	oldStripes := obj.stripes
-	newStripes, writeCost, err := s.stripes.Write(full, dirtyScheme)
+	newStripes, writeCost, err := s.stripes.WriteCtx(rc, full, dirtyScheme)
 	if err != nil {
 		if errors.Is(err, flash.ErrDeviceFull) {
 			// The old copy is untouched; surface cache pressure.

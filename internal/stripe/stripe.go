@@ -20,6 +20,7 @@
 package stripe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/gf256"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 )
 
@@ -259,6 +261,19 @@ func (m *Manager) lookup(id ID) (*stripeMeta, error) {
 // span the devices alive at write time; chunk writes within a stripe fan out
 // to per-device goroutines, and stripes are written back to back.
 func (m *Manager) Write(data []byte, scheme policy.Scheme) ([]ID, time.Duration, error) {
+	return m.WriteCtx(nil, data, scheme)
+}
+
+// WriteCtx is Write under a request context. Cancellation is exact: the
+// context is consulted only at chunk boundaries before a chunk commits and
+// between stripes before the next stripe starts, so a cancelled write never
+// leaves a stripe half-committed — any chunks already landed for the current
+// stripe are rolled back and any fully written stripes of the same call are
+// freed, exactly as on a device error.
+func (m *Manager) WriteCtx(rc *reqctx.Ctx, data []byte, scheme policy.Scheme) ([]ID, time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return nil, 0, err
+	}
 	alive := m.array.Alive()
 	if len(alive) == 0 {
 		return nil, 0, ErrNoAliveDevices
@@ -267,9 +282,9 @@ func (m *Manager) Write(data []byte, scheme policy.Scheme) ([]ID, time.Duration,
 		return nil, 0, fmt.Errorf("%w: %v on %d alive devices", ErrBadScheme, scheme, len(alive))
 	}
 	if scheme.Kind == policy.KindReplicate {
-		return m.writeReplicated(data, alive)
+		return m.writeReplicated(rc, data, alive)
 	}
-	return m.writeParity(data, scheme.ParityChunks, alive)
+	return m.writeParity(rc, data, scheme.ParityChunks, alive)
 }
 
 // allocID reserves the next stripe ID. The stripe is not published until
@@ -289,7 +304,7 @@ func (m *Manager) publish(id ID, meta *stripeMeta) {
 	m.mu.Unlock()
 }
 
-func (m *Manager) writeParity(data []byte, k int, alive []int) ([]ID, time.Duration, error) {
+func (m *Manager) writeParity(rc *reqctx.Ctx, data []byte, k int, alive []int) ([]ID, time.Duration, error) {
 	dataChunks := len(alive) - k
 	perStripe := dataChunks * m.chunkSize
 	var (
@@ -299,6 +314,10 @@ func (m *Manager) writeParity(data []byte, k int, alive []int) ([]ID, time.Durat
 	// Zero-length objects still get one (empty) stripe so they remain
 	// addressable.
 	for off := 0; ; off += perStripe {
+		if err := rc.Err(); err != nil {
+			m.Free(ids)
+			return nil, 0, err
+		}
 		remaining := len(data) - off
 		if remaining <= 0 && off > 0 {
 			break
@@ -375,7 +394,7 @@ func (m *Manager) writeParity(data []byte, k int, alive []int) ([]ID, time.Durat
 			} else {
 				payload, dev = parity[i-dataChunks], meta.parityDevs[i-dataChunks]
 			}
-			c, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			c, werr := m.array.Device(dev).WriteCtx(rc, flash.ChunkAddr(id), payload)
 			if werr != nil {
 				return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 			}
@@ -401,12 +420,16 @@ func (m *Manager) writeParity(data []byte, k int, alive []int) ([]ID, time.Durat
 	return ids, total, nil
 }
 
-func (m *Manager) writeReplicated(data []byte, alive []int) ([]ID, time.Duration, error) {
+func (m *Manager) writeReplicated(rc *reqctx.Ctx, data []byte, alive []int) ([]ID, time.Duration, error) {
 	var (
 		ids   []ID
 		total time.Duration
 	)
 	for off := 0; ; off += m.chunkSize {
+		if err := rc.Err(); err != nil {
+			m.Free(ids)
+			return nil, 0, err
+		}
 		remaining := len(data) - off
 		if remaining <= 0 && off > 0 {
 			break
@@ -429,7 +452,7 @@ func (m *Manager) writeReplicated(data []byte, alive []int) ([]ID, time.Duration
 		costs := make([]time.Duration, len(alive))
 		err := fanChunks(len(alive), chunkLen, func(i int) error {
 			dev := alive[i]
-			c, werr := m.array.Device(dev).Write(flash.ChunkAddr(id), payload)
+			c, werr := m.array.Device(dev).WriteCtx(rc, flash.ChunkAddr(id), payload)
 			if werr != nil {
 				return fmt.Errorf("stripe %d device %d: %w", id, dev, werr)
 			}
@@ -476,7 +499,7 @@ func (m *Manager) Read(ids []ID, size int) ([]byte, time.Duration, error) {
 			return nil, 0, err
 		}
 		meta.mu.RLock()
-		data, cost, err := m.readStripe(id, meta)
+		data, cost, err := m.readStripe(nil, id, meta)
 		meta.mu.RUnlock()
 		if err != nil {
 			return nil, 0, err
@@ -490,30 +513,188 @@ func (m *Manager) Read(ids []ID, size int) ([]byte, time.Duration, error) {
 	return out[:size], total, nil
 }
 
-// readStripe reads one stripe. The caller holds the stripe's lock (read or
-// write).
-func (m *Manager) readStripe(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
-	if meta.scheme.Kind == policy.KindReplicate {
-		return m.readReplicated(id, meta)
+// ReadInto reads the stripes' data into dst (which must hold at least size
+// bytes) and returns the bytes written plus the virtual-time cost. On the
+// healthy small-chunk path it performs no heap allocation: chunks are copied
+// straight from the devices into dst. Degraded stripes fall back to the
+// reconstructing path, which allocates scratch fragments as before.
+//
+// Cancellation checkpoints sit at stripe and chunk boundaries and — on the
+// degraded path — before the parity fan-out and before reconstruction, so a
+// cancelled read stops issuing device IO at the next boundary.
+func (m *Manager) ReadInto(rc *reqctx.Ctx, ids []ID, size int, dst []byte) (int, time.Duration, error) {
+	if size > len(dst) {
+		return 0, 0, fmt.Errorf("stripe: dst %d bytes cannot hold %d", len(dst), size)
 	}
-	return m.readParity(id, meta)
+	written := 0
+	var total time.Duration
+	stored := 0
+	for _, id := range ids {
+		if err := rc.Err(); err != nil {
+			return 0, 0, err
+		}
+		meta, err := m.lookup(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		meta.mu.RLock()
+		// Old Read reads every stripe in full and trims once at the end,
+		// so the tail stripe is still read entirely even when size cuts it
+		// short — give it an empty dst segment rather than skipping it.
+		seg := dst[written:size]
+		if len(seg) > meta.dataLen {
+			seg = seg[:meta.dataLen]
+		}
+		cost, err := m.readStripeInto(rc, id, meta, seg)
+		stored += meta.dataLen
+		meta.mu.RUnlock()
+		if err != nil {
+			return 0, 0, err
+		}
+		written += len(seg)
+		total += cost
+	}
+	if size > stored {
+		return 0, 0, fmt.Errorf("stripe: read size %d exceeds stored %d bytes", size, stored)
+	}
+	return written, total, nil
 }
 
-func (m *Manager) readReplicated(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+// readStripeInto reads one stripe into dst (which may be shorter than the
+// stripe's data when the object size trims the tail). The caller holds the
+// stripe's lock. Falls back to the allocating reconstruct path for degraded
+// stripes, copying the result into dst.
+func (m *Manager) readStripeInto(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte) (time.Duration, error) {
+	if meta.scheme.Kind == policy.KindReplicate {
+		cost, ok, err := m.readReplicatedInto(rc, id, meta, dst)
+		if ok || err != nil {
+			return cost, err
+		}
+	} else {
+		cost, ok, err := m.readParityInto(rc, id, meta, dst)
+		if ok || err != nil {
+			return cost, err
+		}
+	}
+	// Degraded (or racing-failure) stripe: reconstruct via the allocating
+	// path and copy out.
+	data, cost, err := m.readStripe(rc, id, meta)
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, data)
+	return cost, nil
+}
+
+// readReplicatedInto copies a replica into dst without allocating. ok=false
+// requests the allocating fallback (never needed for replication — a false
+// return here always carries an error).
+func (m *Manager) readReplicatedInto(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte) (time.Duration, bool, error) {
+	n := len(meta.replicaDevs)
+	start := int(uint64(id) % uint64(n))
+	for i := 0; i < n; i++ {
+		dev := meta.replicaDevs[(start+i)%n]
+		_, cost, err := m.array.Device(dev).ReadInto(rc, flash.ChunkAddr(id), dst)
+		if err == nil {
+			return cost, true, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, true, err
+		}
+	}
+	return 0, true, fmt.Errorf("%w: stripe %d (all replicas gone)", ErrUnrecoverable, id)
+}
+
+// chunkSeg returns data chunk i's segment of dst, clamped to the (possibly
+// short) final chunk. A plain function rather than a closure so the serial
+// read path stays allocation-free.
+func chunkSeg(dst []byte, chunkLen, i int) []byte {
+	lo := i * chunkLen
+	if lo > len(dst) {
+		lo = len(dst)
+	}
+	hi := lo + chunkLen
+	if hi > len(dst) {
+		hi = len(dst)
+	}
+	return dst[lo:hi]
+}
+
+// readParityInto is the allocation-free healthy-path read: when every data
+// chunk is present it copies them device-by-device into dst and reports the
+// parallel cost without any scratch slices. It declines (ok=false) when a
+// data chunk is missing — or vanishes mid-read — leaving reconstruction to
+// the allocating path.
+func (m *Manager) readParityInto(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte) (time.Duration, bool, error) {
+	dataChunks := len(meta.dataDevs)
+	for _, dev := range meta.dataDevs {
+		if !m.chunkPresent(id, dev) {
+			return 0, false, nil
+		}
+	}
+	if meta.chunkLen < fanOutMinBytes {
+		// Serial zero-alloc path; track the max cost by hand so no costs
+		// slice is needed.
+		var maxCost time.Duration
+		for i := 0; i < dataChunks; i++ {
+			_, cost, err := m.array.Device(meta.dataDevs[i]).ReadInto(rc, flash.ChunkAddr(id), chunkSeg(dst, meta.chunkLen, i))
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return 0, true, err
+				}
+				return 0, false, nil // device failed between Has and read
+			}
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		return maxCost, true, nil
+	}
+	// Large chunks: fan out per device. The small bookkeeping slices
+	// allocate, but large-chunk transfers dwarf them and dst still absorbs
+	// the data without a copy.
+	costs := make([]time.Duration, dataChunks)
+	err := fanOut(dataChunks, func(i int) error {
+		_, cost, rerr := m.array.Device(meta.dataDevs[i]).ReadInto(rc, flash.ChunkAddr(id), chunkSeg(dst, meta.chunkLen, i))
+		costs[i] = cost
+		return rerr
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, true, err
+		}
+		return 0, false, nil
+	}
+	return simclock.Parallel(costs...), true, nil
+}
+
+// readStripe reads one stripe. The caller holds the stripe's lock (read or
+// write).
+func (m *Manager) readStripe(rc *reqctx.Ctx, id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+	if meta.scheme.Kind == policy.KindReplicate {
+		return m.readReplicated(rc, id, meta)
+	}
+	return m.readParity(rc, id, meta)
+}
+
+func (m *Manager) readReplicated(rc *reqctx.Ctx, id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
 	// Prefer the rotation-selected primary, then fall back to any copy.
 	n := len(meta.replicaDevs)
 	start := int(uint64(id) % uint64(n))
 	for i := 0; i < n; i++ {
 		dev := meta.replicaDevs[(start+i)%n]
-		data, cost, err := m.array.Device(dev).Read(flash.ChunkAddr(id))
+		data, cost, err := m.array.Device(dev).ReadCtx(rc, flash.ChunkAddr(id))
 		if err == nil {
 			return data, cost, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, 0, err
 		}
 	}
 	return nil, 0, fmt.Errorf("%w: stripe %d (all replicas gone)", ErrUnrecoverable, id)
 }
 
-func (m *Manager) readParity(id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
+func (m *Manager) readParity(rc *reqctx.Ctx, id ID, meta *stripeMeta) ([]byte, time.Duration, error) {
 	dataChunks := len(meta.dataDevs)
 	k := len(meta.parityDevs)
 	fragments := make([][]byte, dataChunks+k)
@@ -527,6 +708,7 @@ func (m *Manager) readParity(id ID, meta *stripeMeta) ([]byte, time.Duration, er
 		if err != nil {
 			return false
 		}
+		rc.CountDeviceRead(int64(len(data)))
 		fragments[idx] = data
 		costs[idx] = cost
 		return true
@@ -542,6 +724,12 @@ func (m *Manager) readParity(id ID, meta *stripeMeta) ([]byte, time.Duration, er
 		}
 	}
 	if missingData > 0 {
+		// Cancellation checkpoint before widening the fan to parity
+		// devices: a cancelled degraded read aborts here with no parity IO
+		// issued and no reconstruction attempted.
+		if err := rc.Err(); err != nil {
+			return nil, 0, err
+		}
 		// Degraded read: pull in parity chunks to reach m fragments. All
 		// parity reads fan out at once — the degraded path is rare, and a
 		// parallel sweep beats serial retries even when one would do.
@@ -557,6 +745,10 @@ func (m *Manager) readParity(id ID, meta *stripeMeta) ([]byte, time.Duration, er
 		}
 		if available < dataChunks {
 			return nil, 0, fmt.Errorf("%w: stripe %d (%d of %d fragments)", ErrUnrecoverable, id, available, dataChunks)
+		}
+		// Last checkpoint before burning decode CPU on a dead request.
+		if err := rc.Err(); err != nil {
+			return nil, 0, err
 		}
 		codec, err := m.codec(dataChunks, k)
 		if err != nil {
@@ -612,6 +804,7 @@ func (m *Manager) Status(id ID) (Status, error) {
 }
 
 // status computes a stripe's health. The caller holds the stripe's lock.
+// It allocates nothing: the hot read path consults it per stripe.
 func (m *Manager) status(id ID, meta *stripeMeta) Status {
 	if meta.scheme.Kind == policy.KindReplicate {
 		// Replication targets the whole array ("we replicate each
@@ -621,7 +814,10 @@ func (m *Manager) status(id ID, meta *stripeMeta) Status {
 		// replica set onto the new device.
 		have := 0
 		missingAlive := 0
-		for _, dev := range m.array.Alive() {
+		for dev := 0; dev < m.array.N(); dev++ {
+			if m.array.Device(dev).State() != flash.StateHealthy {
+				continue
+			}
 			if m.chunkPresent(id, dev) {
 				have++
 			} else {
@@ -638,7 +834,12 @@ func (m *Manager) status(id ID, meta *stripeMeta) Status {
 		}
 	}
 	missing := 0
-	for _, dev := range append(append([]int(nil), meta.dataDevs...), meta.parityDevs...) {
+	for _, dev := range meta.dataDevs {
+		if !m.chunkPresent(id, dev) {
+			missing++
+		}
+	}
+	for _, dev := range meta.parityDevs {
 		if !m.chunkPresent(id, dev) {
 			missing++
 		}
@@ -662,6 +863,17 @@ func (m *Manager) chunkPresent(id ID, dev int) bool {
 // status afterwards. Rebuilding a lost stripe returns ErrUnrecoverable;
 // rebuilding a healthy stripe is a cheap no-op.
 func (m *Manager) Rebuild(id ID) (time.Duration, Status, error) {
+	return m.RebuildCtx(nil, id)
+}
+
+// RebuildCtx is Rebuild under a request context: background recovery passes
+// its context so a cancelled or superseded rebuild stops before touching the
+// stripe. Once chunk writes begin the rebuild runs to completion — rebuild
+// only adds redundancy, so there is no torn state to unwind.
+func (m *Manager) RebuildCtx(rc *reqctx.Ctx, id ID) (time.Duration, Status, error) {
+	if err := rc.Err(); err != nil {
+		return 0, 0, err
+	}
 	meta, err := m.lookup(id)
 	if err != nil {
 		return 0, 0, err

@@ -89,7 +89,7 @@ func (m *Manager) updateStripe(id ID, meta *stripeMeta, local int, data []byte) 
 
 func (m *Manager) updateReplicated(id ID, meta *stripeMeta, local int, data []byte) (time.Duration, error) {
 	// Read any live copy, splice, rewrite every live copy concurrently.
-	chunk, readCost, err := m.readReplicated(id, meta)
+	chunk, readCost, err := m.readReplicated(nil, id, meta)
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +240,7 @@ func (m *Manager) updateDelta(id ID, meta *stripeMeta, codec *erasure.Codec, loc
 // (reconstructing if degraded), splice the new bytes, re-encode, and write
 // back the changed chunks and all parity (fanned out).
 func (m *Manager) updateDirect(id ID, meta *stripeMeta, codec *erasure.Codec, local int, data []byte) (time.Duration, error) {
-	stripeData, readCost, err := m.readParity(id, meta)
+	stripeData, readCost, err := m.readParity(nil, id, meta)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/store"
 )
 
@@ -61,6 +63,10 @@ func senseError(resp Response) error {
 		return fmt.Errorf("%w: %s", store.ErrCacheFull, resp.Message)
 	case osd.SenseRedundancyFull:
 		return fmt.Errorf("%w: %s", store.ErrRedundancyFull, resp.Message)
+	case osd.SenseCancelled:
+		return fmt.Errorf("%w: %s", context.Canceled, resp.Message)
+	case osd.SenseDeadline:
+		return fmt.Errorf("%w: %s", context.DeadlineExceeded, resp.Message)
 	default:
 		if resp.Message == "" {
 			return fmt.Errorf("transport: target sense %v", resp.Sense)
@@ -69,9 +75,29 @@ func senseError(resp Response) error {
 	}
 }
 
+// withLifecycle stamps the request-lifecycle wire fields from rc. A nil rc
+// leaves them zero, which the target interprets as a legacy request.
+func withLifecycle(rc *reqctx.Ctx, req Request) Request {
+	req.RequestID = rc.ID()
+	if d, ok := rc.Deadline(); ok {
+		req.Deadline = d.UnixNano()
+	}
+	return req
+}
+
 // Put writes an object with the given class.
 func (c *Client) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
-	resp, err := c.roundTrip(Request{Op: OpPut, Object: id, Class: class, Dirty: dirty, Payload: data})
+	return c.PutCtx(nil, id, data, class, dirty)
+}
+
+// PutCtx is Put carrying the request's ID and deadline on the wire. The
+// local context is checked before sending; once the request is in flight the
+// target enforces the deadline on its side.
+func (c *Client) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpPut, Object: id, Class: class, Dirty: dirty, Payload: data}))
 	if err != nil {
 		return 0, err
 	}
@@ -80,7 +106,15 @@ func (c *Client) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) 
 
 // Get reads an object.
 func (c *Client) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
-	resp, err := c.roundTrip(Request{Op: OpGet, Object: id})
+	return c.GetCtx(nil, id)
+}
+
+// GetCtx is Get carrying the request's ID and deadline on the wire.
+func (c *Client) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
+	if err := rc.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpGet, Object: id}))
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -172,7 +206,15 @@ func (c *Client) MarkClean(id osd.ObjectID) error {
 
 // Reclassify relabels (and possibly re-encodes) an object.
 func (c *Client) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
-	resp, err := c.roundTrip(Request{Op: OpReclassify, Object: id, Class: class})
+	return c.ReclassifyCtx(nil, id, class)
+}
+
+// ReclassifyCtx is Reclassify carrying the request's ID and deadline.
+func (c *Client) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpReclassify, Object: id, Class: class}))
 	if err != nil {
 		return 0, err
 	}
@@ -181,7 +223,15 @@ func (c *Client) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, er
 
 // WriteRange applies a partial in-place update, marking the object dirty.
 func (c *Client) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
-	resp, err := c.roundTrip(Request{Op: OpWriteRange, Object: id, Offset: offset, Payload: data})
+	return c.WriteRangeCtx(nil, id, offset, data)
+}
+
+// WriteRangeCtx is WriteRange carrying the request's ID and deadline.
+func (c *Client) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpWriteRange, Object: id, Offset: offset, Payload: data}))
 	if err != nil {
 		return 0, err
 	}

@@ -99,6 +99,12 @@ type Request struct {
 	Index int32
 	// Offset is the byte offset for OpWriteRange.
 	Offset int64
+	// RequestID and Deadline carry the request lifecycle across the wire:
+	// the initiator's trace ID, and an absolute deadline as Unix nanoseconds
+	// (0 = no deadline). The target rebuilds its per-request context from
+	// them and enforces the deadline server-side.
+	RequestID uint64
+	Deadline  int64
 }
 
 // Response is a decoded response PDU.
@@ -169,7 +175,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // EncodeRequest renders a request PDU body.
 func EncodeRequest(req Request) []byte {
-	buf := make([]byte, 0, 32+len(req.Payload))
+	buf := make([]byte, 0, 52+len(req.Payload))
 	buf = append(buf, byte(req.Op))
 	buf = binary.BigEndian.AppendUint64(buf, req.Object.PID)
 	buf = binary.BigEndian.AppendUint64(buf, req.Object.OID)
@@ -177,6 +183,8 @@ func EncodeRequest(req Request) []byte {
 	buf = append(buf, boolByte(req.Dirty))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Index))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Offset))
+	buf = binary.BigEndian.AppendUint64(buf, req.RequestID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Deadline))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Payload)))
 	buf = append(buf, req.Payload...)
 	return buf
@@ -184,7 +192,7 @@ func EncodeRequest(req Request) []byte {
 
 // DecodeRequest parses a request PDU body.
 func DecodeRequest(body []byte) (Request, error) {
-	const fixed = 1 + 8 + 8 + 1 + 1 + 4 + 8 + 4
+	const fixed = 1 + 8 + 8 + 1 + 1 + 4 + 8 + 8 + 8 + 4
 	if len(body) < fixed {
 		return Request{}, ErrShortFrame
 	}
@@ -198,12 +206,14 @@ func DecodeRequest(body []byte) (Request, error) {
 			PID: binary.BigEndian.Uint64(body[1:9]),
 			OID: binary.BigEndian.Uint64(body[9:17]),
 		},
-		Class:  osd.Class(body[17]),
-		Dirty:  body[18] != 0,
-		Index:  int32(binary.BigEndian.Uint32(body[19:23])),
-		Offset: int64(binary.BigEndian.Uint64(body[23:31])),
+		Class:     osd.Class(body[17]),
+		Dirty:     body[18] != 0,
+		Index:     int32(binary.BigEndian.Uint32(body[19:23])),
+		Offset:    int64(binary.BigEndian.Uint64(body[23:31])),
+		RequestID: binary.BigEndian.Uint64(body[31:39]),
+		Deadline:  int64(binary.BigEndian.Uint64(body[39:47])),
 	}
-	payloadLen := binary.BigEndian.Uint32(body[31:35])
+	payloadLen := binary.BigEndian.Uint32(body[47:51])
 	if int(payloadLen) != len(body)-fixed {
 		return Request{}, fmt.Errorf("%w: payload length %d, frame remainder %d",
 			ErrShortFrame, payloadLen, len(body)-fixed)

@@ -5,9 +5,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/cache"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 )
 
 // RemoteTarget adapts a Client into the cache manager's Target interface,
@@ -77,16 +79,23 @@ func (rt *RemoteTarget) tick() {
 	}
 }
 
-// Put implements cache.Target.
-func (rt *RemoteTarget) Put(id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+// PutCtx implements cache.Target, carrying the request's ID and deadline on
+// the wire.
+func (rt *RemoteTarget) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
 	rt.tick()
-	return rt.client.Put(id, data, class, dirty)
+	return rt.client.PutCtx(rc, id, data, class, dirty)
 }
 
-// Get implements cache.Target.
-func (rt *RemoteTarget) Get(id osd.ObjectID) ([]byte, time.Duration, bool, error) {
+// GetCtx implements cache.Target. The wire payload is freshly allocated by
+// the frame decoder, so it is adopted into an unpooled lease — Release is a
+// no-op beyond breaking the reference, and the GC reclaims it.
+func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, time.Duration, bool, error) {
 	rt.tick()
-	return rt.client.Get(id)
+	data, cost, degraded, err := rt.client.GetCtx(rc, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return bufpool.Adopt(data), cost, degraded, nil
 }
 
 // Delete implements cache.Target.
@@ -95,10 +104,10 @@ func (rt *RemoteTarget) Delete(id osd.ObjectID) error {
 	return rt.client.Delete(id)
 }
 
-// WriteRange implements cache.Target.
-func (rt *RemoteTarget) WriteRange(id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
+// WriteRangeCtx implements cache.Target.
+func (rt *RemoteTarget) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
 	rt.tick()
-	return rt.client.WriteRange(id, offset, data)
+	return rt.client.WriteRangeCtx(rc, id, offset, data)
 }
 
 // MarkClean implements cache.Target.
@@ -107,10 +116,10 @@ func (rt *RemoteTarget) MarkClean(id osd.ObjectID) error {
 	return rt.client.MarkClean(id)
 }
 
-// Reclassify implements cache.Target.
-func (rt *RemoteTarget) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, error) {
+// ReclassifyCtx implements cache.Target.
+func (rt *RemoteTarget) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
 	rt.tick()
-	return rt.client.Reclassify(id, class)
+	return rt.client.ReclassifyCtx(rc, id, class)
 }
 
 // Policy implements cache.Target.

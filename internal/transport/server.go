@@ -1,13 +1,16 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/store"
 )
 
@@ -122,14 +125,56 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// requestCtx rebuilds the per-request context from the wire fields. A
+// request with neither an ID nor a deadline travels as a nil context, which
+// keeps legacy initiators byte-identical to the pre-lifecycle protocol. The
+// returned release func must run once the operation is fully complete;
+// expired reports that the deadline passed before dispatch (the caller must
+// answer SenseDeadline without touching the store).
+func requestCtx(req Request) (rc *reqctx.Ctx, release func(), expired bool) {
+	if req.RequestID == 0 && req.Deadline == 0 {
+		return nil, func() {}, false
+	}
+	if req.Deadline == 0 {
+		rc = reqctx.Acquire(context.Background()).WithID(req.RequestID)
+		return rc, func() { reqctx.Release(rc) }, false
+	}
+	dl := time.Unix(0, req.Deadline)
+	if !time.Now().Before(dl) {
+		return nil, func() {}, true
+	}
+	// context.WithDeadline gives the request a real Done channel, so waits
+	// deep in the store (fill latches, fan-out joins) abort when the
+	// deadline fires mid-operation, not just at the next checkpoint.
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	rc = reqctx.Acquire(ctx).WithID(req.RequestID)
+	return rc, func() {
+		reqctx.Release(rc)
+		cancel()
+	}, false
+}
+
 func (s *Server) dispatch(req Request) Response {
+	rc, release, expired := requestCtx(req)
+	if expired {
+		return Response{Sense: osd.SenseDeadline, Message: context.DeadlineExceeded.Error()}
+	}
+	defer release()
 	switch req.Op {
 	case OpPut:
-		cost, err := s.st.Put(req.Object, req.Payload, req.Class, req.Dirty)
+		cost, err := s.st.PutCtx(rc, req.Object, req.Payload, req.Class, req.Dirty)
 		return senseResponse(err, Response{Cost: cost})
 	case OpGet:
-		data, cost, degraded, err := s.st.Get(req.Object)
-		return senseResponse(err, Response{Payload: data, Degraded: degraded, Cost: cost})
+		buf, cost, degraded, err := s.st.GetCtx(rc, req.Object)
+		resp := Response{Degraded: degraded, Cost: cost}
+		if err == nil {
+			// The payload outlives dispatch (it is encoded into the response
+			// frame by the caller), so copy it out of the pooled lease.
+			resp.Payload = make([]byte, buf.Len())
+			copy(resp.Payload, buf.Bytes())
+			buf.Release()
+		}
+		return senseResponse(err, resp)
 	case OpDelete:
 		return senseResponse(s.st.Delete(req.Object), Response{})
 	case OpControl:
@@ -149,18 +194,21 @@ func (s *Server) dispatch(req Request) Response {
 		queued, err := s.st.InsertSpare(int(req.Index))
 		return senseResponse(err, Response{Value: int64(queued)})
 	case OpRecoverStep:
-		cost, rebuilt, done, err := s.st.RecoverStep(int(req.Index))
+		// Recovery stepped over the wire is background work: give it the
+		// request's cancellation but demote its priority so it yields to
+		// concurrent on-demand traffic.
+		cost, rebuilt, done, err := s.st.RecoverStepCtx(rc.WithPriority(reqctx.Background), int(req.Index))
 		return senseResponse(err, Response{Value: int64(rebuilt), Done: done, Cost: cost})
 	case OpMarkClean:
 		return senseResponse(s.st.MarkClean(req.Object), Response{})
 	case OpReclassify:
-		cost, err := s.st.Reclassify(req.Object, req.Class)
+		cost, err := s.st.ReclassifyCtx(rc, req.Object, req.Class)
 		return senseResponse(err, Response{Cost: cost})
 	case OpPolicy:
 		kind, param := describePolicy(s.st.Policy())
 		return Response{Sense: osd.SenseOK, Status: kind, Value: param, Message: s.st.Policy().Name()}
 	case OpWriteRange:
-		cost, err := s.st.WriteRange(req.Object, req.Offset, req.Payload)
+		cost, err := s.st.WriteRangeCtx(rc, req.Object, req.Offset, req.Payload)
 		return senseResponse(err, Response{Cost: cost})
 	default:
 		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}
@@ -227,6 +275,12 @@ func senseResponse(err error, resp Response) Response {
 		resp.Message = err.Error()
 	case errors.Is(err, store.ErrRedundancyFull):
 		resp.Sense = osd.SenseRedundancyFull
+		resp.Message = err.Error()
+	case errors.Is(err, context.Canceled):
+		resp.Sense = osd.SenseCancelled
+		resp.Message = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Sense = osd.SenseDeadline
 		resp.Message = err.Error()
 	default:
 		resp.Sense = osd.SenseFailure

@@ -134,7 +134,7 @@ func TestDecodeMalformed(t *testing.T) {
 	if _, err := DecodeRequest(nil); !errors.Is(err, ErrShortFrame) {
 		t.Fatal("nil request accepted")
 	}
-	if _, err := DecodeRequest(make([]byte, 35)); !errors.Is(err, ErrUnknownOp) {
+	if _, err := DecodeRequest(make([]byte, 51)); !errors.Is(err, ErrUnknownOp) {
 		t.Fatal("zero opcode accepted")
 	}
 	// Payload length that disagrees with the frame size.

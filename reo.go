@@ -42,6 +42,7 @@
 package reo
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -51,6 +52,7 @@ import (
 	"github.com/reo-cache/reo/internal/hdd"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 	"github.com/reo-cache/reo/internal/store"
 )
@@ -247,10 +249,45 @@ func (c *Cache) Read(id ObjectID) ([]byte, Result, error) {
 	return res.Data, res, nil
 }
 
+// ReadCtx is Read under a context: the deadline and cancellation travel with
+// the request through the cache manager, store, stripe manager, and device
+// layer. A context that is already expired returns context.DeadlineExceeded
+// without touching a device; a context cancelled mid-request aborts at the
+// next chunk boundary. On a hit, the returned data lives in a pooled buffer
+// owned by the Result — call Result.Release once done with it to keep the
+// steady-state read path allocation-free (skipping Release is safe; the GC
+// reclaims the buffer, it just isn't recycled).
+func (c *Cache) ReadCtx(ctx context.Context, id ObjectID) ([]byte, Result, error) {
+	rc := reqctx.Acquire(ctx)
+	res, err := c.manager.ReadCtx(rc, id)
+	reqctx.Release(rc)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	c.clock.Advance(res.Latency + res.Background)
+	return res.Data, res, nil
+}
+
 // Write absorbs an update write-back style: stored dirty in flash (fully
 // replicated under Reo's policy), flushed to the backend in the background.
 func (c *Cache) Write(id ObjectID, data []byte) (Result, error) {
 	res, err := c.manager.Write(id, data)
+	if err != nil {
+		return Result{}, err
+	}
+	c.clock.Advance(res.Latency + res.Background)
+	return res, nil
+}
+
+// WriteCtx is Write under a context. Cancellation is exact: a write that
+// returns context.Canceled or context.DeadlineExceeded was NOT acknowledged
+// and left no torn state — either the previous version of the object is
+// intact or the new one is fully committed; cancel points sit only at chunk
+// boundaries before the stripe commit.
+func (c *Cache) WriteCtx(ctx context.Context, id ObjectID, data []byte) (Result, error) {
+	rc := reqctx.Acquire(ctx)
+	res, err := c.manager.WriteCtx(rc, id, data)
+	reqctx.Release(rc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -268,12 +305,36 @@ func (c *Cache) Preload(ids []ObjectID) (int, error) {
 	return admitted, err
 }
 
+// PreloadCtx is Preload under a context, checked between objects: a
+// cancelled warm-up stops cleanly with everything admitted so far intact.
+func (c *Cache) PreloadCtx(ctx context.Context, ids []ObjectID) (int, error) {
+	rc := reqctx.Acquire(ctx)
+	admitted, cost, err := c.manager.PreloadCtx(rc, ids)
+	reqctx.Release(rc)
+	c.clock.Advance(cost)
+	return admitted, err
+}
+
 // WriteAt absorbs a partial update of an object. Cached objects are updated
 // in place on the flash array — the delta/direct parity-updating paths of
 // the paper's §II.B — and marked dirty; uncached objects are fetched,
 // merged, and admitted dirty.
 func (c *Cache) WriteAt(id ObjectID, offset int64, data []byte) (Result, error) {
 	res, err := c.manager.WriteAt(id, offset, data)
+	if err != nil {
+		return Result{}, err
+	}
+	c.clock.Advance(res.Latency + res.Background)
+	return res, nil
+}
+
+// WriteAtCtx is WriteAt under a context, with the same exactness guarantee
+// as WriteCtx: a cancelled partial update is not acknowledged and never
+// leaves a torn object.
+func (c *Cache) WriteAtCtx(ctx context.Context, id ObjectID, offset int64, data []byte) (Result, error) {
+	rc := reqctx.Acquire(ctx)
+	res, err := c.manager.WriteAtCtx(rc, id, offset, data)
+	reqctx.Release(rc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -307,6 +368,18 @@ func (c *Cache) InsertSpare(i int) (int, error) { return c.store.InsertSpare(i) 
 // rebuilt and whether recovery has completed.
 func (c *Cache) RecoverStep(n int) (rebuilt int, done bool, err error) {
 	cost, rebuilt, done, err := c.store.RecoverStep(n)
+	c.clock.Advance(cost)
+	return rebuilt, done, err
+}
+
+// RecoverStepCtx is RecoverStep under a context, run at background priority:
+// between objects the rebuild yields to in-flight on-demand requests and
+// honours cancellation, requeueing the interrupted object so no progress is
+// lost.
+func (c *Cache) RecoverStepCtx(ctx context.Context, n int) (rebuilt int, done bool, err error) {
+	rc := reqctx.Acquire(ctx).WithPriority(reqctx.Background)
+	cost, rebuilt, done, err := c.store.RecoverStepCtx(rc, n)
+	reqctx.Release(rc)
 	c.clock.Advance(cost)
 	return rebuilt, done, err
 }
