@@ -52,6 +52,9 @@ func run(args []string) error {
 		opstats    = fs.Bool("opstats", false, "print a per-op latency breakdown (read.hit/read.miss/write) after each experiment")
 		timeout    = fs.Duration("timeout", 0, "per-request deadline; expired requests are counted and skipped (0 = none)")
 		cancelRate = fs.Float64("cancel-rate", 0, "fraction of requests issued pre-cancelled, deterministic per seed (0 = none)")
+		remote     = fs.Bool("remote", false, "replay over a real loopback transport (multiplexed wire) instead of the in-process simulator")
+		workers    = fs.Int("workers", 8, "concurrent request issuers for -remote")
+		conns      = fs.Int("conns", 1, "multiplexed connections in the -remote client pool")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +100,10 @@ func run(args []string) error {
 		}()
 	}
 
+	if *remote {
+		return runRemote(*experiment, opts, *workers, *conns)
+	}
+
 	dispatch := map[string]func(harness.Options) error{
 		"space":           runSpace,
 		"fig5":            func(o harness.Options) error { return runNormal(workload.Weak, "Fig 5", o) },
@@ -135,6 +142,36 @@ func run(args []string) error {
 			fmt.Printf("-- per-op latency (%s, virtual time, cumulative) --\n%s\n", name, opts.OpStats)
 		}
 	}
+	return nil
+}
+
+// runRemote replays the selected experiment's workload over a real loopback
+// transport with concurrent issuers: the store is served by the multiplexed
+// wire server, and the cache manager drives it through a pooled remote
+// target. The experiment name selects the locality (fig5 = weak, fig7 =
+// strong, anything else = medium).
+func runRemote(experiment string, opts harness.Options, workers, conns int) error {
+	loc := workload.Medium
+	switch experiment {
+	case "fig5":
+		loc = workload.Weak
+	case "fig7":
+		loc = workload.Strong
+	}
+	start := time.Now()
+	res, err := harness.RemoteThroughput(loc, opts, workers, conns)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("== Remote replay: %s locality over loopback multiplexed transport ==", loc))
+	fmt.Fprintln(w, "workers\tconns\trequests\thit ratio\tthroughput\tdata\telapsed")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%.1f%%\t%.0f ops/s\t%.1f MB\t%v\n",
+		res.Workers, res.Conns, res.Requests, res.HitRatioPct(), res.OpsPerSec(),
+		float64(res.Bytes)/1e6, res.Elapsed.Round(time.Millisecond))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("[remote completed in %v]\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

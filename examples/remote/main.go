@@ -140,5 +140,26 @@ func run() error {
 	}
 	fmt.Printf("recovered %d queued objects; target: %d objects, %.1f%% space efficiency, %d/%d devices\n",
 		queued, stats.Objects, stats.SpaceEfficiency*100, stats.AliveDevices, stats.TotalDevices)
+
+	// --- Multiplexing: the connection is not lock-step. Many goroutines can
+	// issue requests concurrently over the one TCP connection; the client
+	// pipelines them and matches the target's (possibly out-of-order)
+	// responses back by request ID.
+	const concurrent = 16
+	startConc := time.Now()
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		go func() {
+			_, _, _, err := client.Get(id)
+			errs <- err
+		}()
+	}
+	for i := 0; i < concurrent; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d concurrent reads over one multiplexed connection in %v\n",
+		concurrent, time.Since(startConc).Round(time.Microsecond))
 	return nil
 }

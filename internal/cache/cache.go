@@ -474,34 +474,6 @@ func (m *Manager) WriteCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte) (Result
 // not acknowledge).
 func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirty bool) (time.Duration, error) {
 	var total time.Duration
-	for {
-		prev, ok := m.entries[id]
-		if !ok {
-			break
-		}
-		if prev.flushing {
-			// A write-back is in flight for the old copy; wait for it to
-			// settle before replacing the entry. The lock is dropped while
-			// waiting, so re-check from scratch afterwards.
-			ch := prev.flushDone
-			m.mu.Unlock()
-			<-ch
-			m.mu.Lock()
-			continue
-		}
-		if prev.dirty && (!dirty || rc.CanCancel()) {
-			// Never downgrade a dirty object by overwriting it clean
-			// without a flush. A cancellable dirty overwrite flushes too:
-			// the old entry is dropped from the cache before the new Put,
-			// so if that Put is then cancelled the acknowledged old update
-			// must already be safe in the backend.
-			total += m.flushEntryLocked(prev)
-			continue // the lock was dropped; re-check the entry
-		}
-		m.dropEntryLocked(prev)
-		_ = m.cfg.Store.Delete(id) // ignore not-found
-		break
-	}
 
 	class := osd.ClassDirty
 	if !dirty {
@@ -514,6 +486,41 @@ func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirt
 	}
 
 	for {
+		// Settle any existing entry for id. Eviction below can drop the
+		// manager lock (flush waits), letting a concurrent request re-admit
+		// the same id; this loop therefore re-runs before every Put attempt,
+		// so insertion always happens under a continuously-held lock with
+		// the map slot provably empty — inserting over a concurrent entry
+		// would orphan its LRU element and wedge future evictions on it.
+		for {
+			prev, ok := m.entries[id]
+			if !ok {
+				break
+			}
+			if prev.flushing {
+				// A write-back is in flight for the old copy; wait for it to
+				// settle before replacing the entry. The lock is dropped
+				// while waiting, so re-check from scratch afterwards.
+				ch := prev.flushDone
+				m.mu.Unlock()
+				<-ch
+				m.mu.Lock()
+				continue
+			}
+			if prev.dirty && (!dirty || rc.CanCancel()) {
+				// Never downgrade a dirty object by overwriting it clean
+				// without a flush. A cancellable dirty overwrite flushes too:
+				// the old entry is dropped from the cache before the new Put,
+				// so if that Put is then cancelled the acknowledged old
+				// update must already be safe in the backend.
+				total += m.flushEntryLocked(prev)
+				continue // the lock was dropped; re-check the entry
+			}
+			m.dropEntryLocked(prev)
+			_ = m.cfg.Store.Delete(id) // ignore not-found
+			break
+		}
+
 		cost, err := m.cfg.Store.PutCtx(rc, id, data, class, dirty)
 		total += cost
 		switch {

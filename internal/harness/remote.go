@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reo-cache/reo/internal/backend"
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/hdd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/transport"
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+// RemoteResult summarises one concurrent remote replay. Unlike RunResult,
+// which advances a virtual clock per request, a remote replay drives a real
+// transport (loopback TCP, multiplexed client) with real wall-clock
+// concurrency — so Elapsed and OpsPerSec are measured, not simulated.
+type RemoteResult struct {
+	Workers  int
+	Conns    int
+	Requests int
+	Hits     int64
+	Bytes    int64
+	Elapsed  time.Duration
+}
+
+// OpsPerSec is the measured wall-clock request throughput.
+func (r *RemoteResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// HitRatioPct is the fraction of requests served from the remote flash cache.
+func (r *RemoteResult) HitRatioPct() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.Hits) / float64(r.Requests)
+}
+
+// remoteWriteRatio mixes writes into the remote replay so the multiplexed
+// connection carries put, get, write-range, and mark-clean traffic, not just
+// reads (matching the paper's mixed workload of §VI.D).
+const remoteWriteRatio = 0.3
+
+// RemoteThroughput replays a trace against a cache manager whose target sits
+// on the far side of a real transport: the store is served by
+// transport.Server over loopback TCP, the manager drives it through a pooled
+// multiplexed RemoteTarget, and `workers` goroutines issue trace requests
+// concurrently. This is the harness's -remote mode: it measures how much
+// request-level concurrency the wire sustains, end to end.
+func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (*RemoteResult, error) {
+	opts.applyDefaults()
+	if workers < 1 {
+		workers = 1
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	tr, err := opts.traceFor(loc, remoteWriteRatio)
+	if err != nil {
+		return nil, err
+	}
+
+	// Same system shape as BuildSystem, mid-range cache size (8% of the
+	// data set), the paper's flagship Reo-40% policy.
+	const devices = 5
+	cacheBytes := int64(float64(tr.DatasetBytes) * 0.08)
+	pol := policy.Reo{ParityBudget: 0.40}
+	st, err := store.New(store.Config{
+		Devices:          devices,
+		DeviceSpec:       flash.Intel540s((cacheBytes + devices - 1) / devices),
+		ChunkSize:        opts.chunk(64 << 10),
+		Policy:           pol,
+		RedundancyBudget: pol.ParityBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := transport.NewServer(st, ln)
+	defer srv.Close()
+	rt, err := transport.DialRemoteTargetPool(ln.Addr().String(), conns)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+
+	be := backend.New(hdd.WD1TB(4 * tr.DatasetBytes))
+	for obj := range tr.Sizes {
+		if _, err := be.Put(objectID(obj), Payload(tr, obj, 0)); err != nil {
+			return nil, err
+		}
+	}
+	cm, err := cache.New(cache.Config{
+		Store:            rt,
+		Backend:          be,
+		NetworkBandwidth: 1.25e9,
+		NetworkRTT:       100 * time.Microsecond,
+		RefreshInterval:  500,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		next  atomic.Int64
+		hits  atomic.Int64
+		bytes atomic.Int64
+		wg    sync.WaitGroup
+	)
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tr.Requests)) {
+					return
+				}
+				req := tr.Requests[i]
+				id := objectID(req.Object)
+				var (
+					res cache.Result
+					err error
+				)
+				if req.Write {
+					res, err = cm.Write(id, Payload(tr, req.Object, req.Version))
+				} else {
+					res, err = cm.Read(id)
+				}
+				if err != nil {
+					// Concurrent workers race on admissions; a full cache is
+					// back-pressure, not a replay failure.
+					if errors.Is(err, store.ErrCacheFull) {
+						continue
+					}
+					errCh <- fmt.Errorf("remote request %d (object %d): %w", i, req.Object, err)
+					return
+				}
+				if res.Hit {
+					hits.Add(1)
+				}
+				bytes.Add(res.Bytes)
+				res.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return &RemoteResult{
+		Workers:  workers,
+		Conns:    conns,
+		Requests: len(tr.Requests),
+		Hits:     hits.Load(),
+		Bytes:    bytes.Load(),
+		Elapsed:  elapsed,
+	}, nil
+}

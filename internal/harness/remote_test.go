@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+// TestRemoteThroughputSmall drives the full remote replay path — loopback
+// TCP, multiplexed client pool, concurrent workers — at test scale and checks
+// the accounting. Run with -race to exercise the concurrent cache manager and
+// transport together.
+func TestRemoteThroughputSmall(t *testing.T) {
+	opts := Options{
+		Scale:    1.0 / 512,
+		Seed:     7,
+		Objects:  96,
+		Requests: 600,
+	}
+	res, err := RemoteThroughput(workload.Medium, opts, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 4 || res.Conns != 2 {
+		t.Fatalf("result echoes workers=%d conns=%d", res.Workers, res.Conns)
+	}
+	if res.Requests != 600 {
+		t.Fatalf("requests = %d, want 600", res.Requests)
+	}
+	if res.Elapsed <= 0 || res.OpsPerSec() <= 0 {
+		t.Fatalf("no wall-clock measurement: elapsed=%v ops/s=%v", res.Elapsed, res.OpsPerSec())
+	}
+	if res.Hits == 0 {
+		t.Fatal("a 600-request replay over 96 objects should see repeat hits")
+	}
+	if hr := res.HitRatioPct(); hr < 0 || hr > 100 {
+		t.Fatalf("hit ratio %v%% out of range", hr)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}

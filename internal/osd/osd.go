@@ -140,6 +140,11 @@ const (
 	// commands whose deadline passed before (or while) the target ran them.
 	SenseCancelled SenseCode = 0x68
 	SenseDeadline  SenseCode = 0x69
+	// SenseNotFound extends Table III for commands naming an object the
+	// target does not hold. A concurrent initiator needs it distinguishable
+	// from SenseFailure: a read that races an eviction is a miss to retry
+	// against the backend, not a hard error.
+	SenseNotFound SenseCode = 0x6a
 )
 
 // String returns the description from Table III.
@@ -163,6 +168,8 @@ func (s SenseCode) String() string {
 		return "the command was cancelled"
 	case SenseDeadline:
 		return "the command deadline was exceeded"
+	case SenseNotFound:
+		return "the object is not present on the target"
 	default:
 		return fmt.Sprintf("SenseCode(%#x)", int(s))
 	}

@@ -136,6 +136,13 @@ func New(ctx context.Context) *Ctx {
 	return rc
 }
 
+// NextID allocates a fresh request/trace ID from the same counter Acquire
+// and New draw from. IDs from this counter are never zero, so callers that
+// need a correlation ID on the wire even for nil (legacy) request contexts —
+// most importantly the multiplexed transport client, which matches responses
+// to callers by request ID — can mint one without building a full context.
+func NextID() uint64 { return nextID.Add(1) }
+
 // WithPriority sets the priority and returns rc for chaining. No-op on nil.
 func (rc *Ctx) WithPriority(p Priority) *Ctx {
 	if rc != nil {

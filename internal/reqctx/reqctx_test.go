@@ -149,3 +149,24 @@ func TestStatsCounting(t *testing.T) {
 		t.Fatalf("backend: r=%d w=%d", s.BackendReads.Load(), s.BackendWrites.Load())
 	}
 }
+
+func TestNextIDNonZeroUniqueAndShared(t *testing.T) {
+	// NextID mints from the same counter as Acquire/New, so wire correlation
+	// IDs minted for nil-ctx requests can never collide with trace IDs.
+	a := NextID()
+	b := NextID()
+	if a == 0 || b == 0 {
+		t.Fatal("NextID returned zero; zero is reserved for 'no request'")
+	}
+	if a == b {
+		t.Fatalf("NextID not unique: %d twice", a)
+	}
+	rc := Acquire(context.Background())
+	defer Release(rc)
+	if rc.ID() <= b {
+		t.Fatalf("Acquire ID %d did not advance past NextID %d: separate counters", rc.ID(), b)
+	}
+	if c := NextID(); c <= rc.ID() {
+		t.Fatalf("NextID %d did not advance past Acquire ID %d", c, rc.ID())
+	}
+}

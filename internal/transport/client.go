@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -14,16 +15,77 @@ import (
 	"github.com/reo-cache/reo/internal/store"
 )
 
-// Client is the initiator side of the protocol: a synchronous
-// request/response channel to a target. It is safe for concurrent use;
-// requests are serialised over the single connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// DefaultWindow is the default bound on in-flight requests per connection.
+// The window is what keeps a fast issuer from ballooning the pending map
+// and the target's queue: once full, callers block until a response (or
+// abandonment) frees a slot.
+const DefaultWindow = 128
+
+// Terminal client errors. Every call that is in flight when the connection
+// dies fails with an error wrapping exactly one of these, so callers can
+// distinguish "the operator closed this client" from "the wire broke under
+// us" with errors.Is.
+var (
+	// ErrClientClosed reports that Close was called on the client.
+	ErrClientClosed = errors.New("transport: client closed")
+	// ErrConnectionLost reports that the connection failed (read, write, or
+	// protocol error) while requests were outstanding.
+	ErrConnectionLost = errors.New("transport: connection lost")
+)
+
+// call is one in-flight request: the frame to send and the slot its
+// response (or terminal error) is delivered into. done is closed exactly
+// once, by whoever removes the call from the pending map.
+type call struct {
+	req  Request
+	resp Response
+	err  error
+	done chan struct{}
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+// Client is the initiator side of the protocol: a fully multiplexed
+// request/response channel to a target. It is safe for concurrent use; many
+// requests can be in flight at once over the single connection.
+//
+// A dedicated writer goroutine drains the send queue through a buffered
+// writer, coalescing bursts of small PDUs into single flushes. A dedicated
+// reader goroutine matches responses — which the target may return out of
+// order — back to callers by RequestID. In-flight requests are bounded by a
+// window; when the connection fails or the client is closed, every pending
+// call fails promptly with an error wrapping ErrConnectionLost or
+// ErrClientClosed.
+type Client struct {
+	conn net.Conn
+
+	sendq  chan *call    // writer goroutine input; cap == window
+	window chan struct{} // in-flight window semaphore
+	dead   chan struct{} // closed once the client reaches a terminal state
+
+	mu      sync.Mutex
+	pending map[uint64]*call // RequestID → in-flight call
+	err     error            // terminal error, set once
+}
+
+// NewClient wraps an established connection with the default window.
+func NewClient(conn net.Conn) *Client { return NewClientWindow(conn, DefaultWindow) }
+
+// NewClientWindow wraps an established connection, bounding in-flight
+// requests to window (values < 1 fall back to DefaultWindow).
+func NewClientWindow(conn net.Conn, window int) *Client {
+	if window < 1 {
+		window = DefaultWindow
+	}
+	c := &Client{
+		conn:    conn,
+		sendq:   make(chan *call, window),
+		window:  make(chan struct{}, window),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]*call),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
 
 // Dial connects to a target address.
 func Dial(addr string) (*Client, error) {
@@ -34,25 +96,217 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. Every in-flight call fails promptly with an
+// error wrapping ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.conn.Close()
+}
 
-// roundTrip sends one request and reads its response.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// fail moves the client to its terminal state: records err (first caller
+// wins), wakes the writer, and fails every pending call. Releasing each
+// failed call's window slot keeps senders blocked on a full window from
+// wedging forever.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	close(c.dead)
+	calls := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	for _, cl := range calls {
+		cl.err = err
+		close(cl.done)
+		<-c.window
+	}
+}
+
+// terminalErr returns the recorded terminal error (ErrClientClosed if the
+// state was reached without one, which cannot happen in practice).
+func (c *Client) terminalErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, EncodeRequest(req)); err != nil {
-		return Response{}, fmt.Errorf("transport: send %v: %w", req.Op, err)
+	if c.err != nil {
+		return c.err
 	}
-	frame, err := readFrame(c.conn)
+	return ErrClientClosed
+}
+
+// connErr wraps a transport-level failure so callers can errors.Is it.
+func connErr(stage string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrConnectionLost, stage, err)
+}
+
+// writeLoop drains the send queue through a buffered writer. It flushes
+// only when the queue momentarily empties, so a burst of small PDUs from
+// many callers coalesces into one syscall.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		var cl *call
+		select {
+		case cl = <-c.sendq:
+		case <-c.dead:
+			return
+		}
+		for cl != nil {
+			if err := writeFrame(bw, EncodeRequest(cl.req)); err != nil {
+				c.fail(connErr("send", err))
+				_ = c.conn.Close()
+				return
+			}
+			select {
+			case cl = <-c.sendq:
+			default:
+				cl = nil
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			c.fail(connErr("send", err))
+			_ = c.conn.Close()
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes responses back to callers by RequestID. Responses
+// whose caller already abandoned the call (context cancelled mid-flight)
+// have no pending entry and are dropped; their window slot was released at
+// abandonment, so the demultiplexer never stalls on them.
+func (c *Client) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.fail(connErr("recv", err))
+			return
+		}
+		resp, err := DecodeResponse(frame)
+		if err != nil {
+			// A frame we cannot decode means the stream is no longer
+			// trustworthy; there is no way to know whose response it was.
+			c.fail(connErr("recv", err))
+			_ = c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		cl := c.pending[resp.RequestID]
+		if cl != nil {
+			delete(c.pending, resp.RequestID)
+		}
+		c.mu.Unlock()
+		if cl == nil {
+			continue
+		}
+		cl.resp = resp
+		close(cl.done)
+		<-c.window
+	}
+}
+
+// send issues one request and waits for its response. The request must
+// carry a nonzero RequestID (withLifecycle guarantees this); a zero ID gets
+// one minted here as a safety net. rc, when non-nil, lets the caller
+// abandon the wait: the slot is handed back to the window and the eventual
+// response is dropped by the reader.
+func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, error) {
+	if req.RequestID == 0 {
+		req.RequestID = reqctx.NextID()
+	}
+	cancelled := rc.Done()
+	var timerC <-chan time.Time
+	if d, ok := rc.Deadline(); ok {
+		t := time.NewTimer(time.Until(d))
+		defer t.Stop()
+		timerC = t.C
+	}
+
+	// Acquire a window slot, abandoning the attempt if the client dies or
+	// the caller's context fires first.
+	select {
+	case c.window <- struct{}{}:
+	case <-c.dead:
+		return Response{}, c.terminalErr()
+	case <-cancelled:
+		return Response{}, ctxErr(rc)
+	case <-timerC:
+		return Response{}, ctxErr(rc)
+	}
+
+	cl := &call{req: req, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		<-c.window
+		return Response{}, err
+	}
+	// The wire ID doubles as the trace ID, so distinct concurrent calls
+	// reusing one request context must not collide in the pending map; the
+	// colliding call trades its trace ID for a fresh unique one.
+	for {
+		if _, busy := c.pending[cl.req.RequestID]; !busy {
+			break
+		}
+		cl.req.RequestID = reqctx.NextID()
+	}
+	c.pending[cl.req.RequestID] = cl
+	c.mu.Unlock()
+
+	select {
+	case c.sendq <- cl:
+	case <-c.dead:
+		// fail() owns every pending call once the terminal error is set.
+		<-cl.done
+		return cl.resp, cl.err
+	}
+
+	select {
+	case <-cl.done:
+		return cl.resp, cl.err
+	case <-cancelled:
+	case <-timerC:
+	}
+
+	// The caller is abandoning the call. Removing it from the pending map
+	// transfers slot ownership back to us; if the reader (or fail) got
+	// there first, the call already resolved and we return that outcome.
+	c.mu.Lock()
+	if c.pending[cl.req.RequestID] == cl {
+		delete(c.pending, cl.req.RequestID)
+		c.mu.Unlock()
+		<-c.window
+		return Response{}, ctxErr(rc)
+	}
+	c.mu.Unlock()
+	<-cl.done
+	return cl.resp, cl.err
+}
+
+// ctxErr names why an abandoning caller stopped waiting.
+func ctxErr(rc *reqctx.Ctx) error {
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
+}
+
+// roundTrip stamps the lifecycle fields and sends one request through the
+// multiplexer.
+func (c *Client) roundTrip(rc *reqctx.Ctx, req Request) (Response, error) {
+	resp, err := c.send(rc, withLifecycle(rc, req))
 	if err != nil {
-		return Response{}, fmt.Errorf("transport: recv %v: %w", req.Op, err)
+		return Response{}, fmt.Errorf("transport: %v: %w", req.Op, err)
 	}
-	return DecodeResponse(frame)
+	return resp, nil
 }
 
 // senseError converts a non-OK sense code back into the store's error
-// vocabulary so initiator-side code can errors.Is on it.
+// vocabulary so initiator-side code can errors.Is on it. Sense codes
+// without a mapped error keep the code in the error text.
 func senseError(resp Response) error {
 	switch resp.Sense {
 	case osd.SenseOK:
@@ -63,22 +317,27 @@ func senseError(resp Response) error {
 		return fmt.Errorf("%w: %s", store.ErrCacheFull, resp.Message)
 	case osd.SenseRedundancyFull:
 		return fmt.Errorf("%w: %s", store.ErrRedundancyFull, resp.Message)
+	case osd.SenseNotFound:
+		return fmt.Errorf("%w: %s", store.ErrNotFound, resp.Message)
 	case osd.SenseCancelled:
 		return fmt.Errorf("%w: %s", context.Canceled, resp.Message)
 	case osd.SenseDeadline:
 		return fmt.Errorf("%w: %s", context.DeadlineExceeded, resp.Message)
 	default:
 		if resp.Message == "" {
-			return fmt.Errorf("transport: target sense %v", resp.Sense)
+			return fmt.Errorf("transport: target sense %#x", int(resp.Sense))
 		}
-		return errors.New(resp.Message)
+		return fmt.Errorf("transport: target sense %#x: %s", int(resp.Sense), resp.Message)
 	}
 }
 
-// withLifecycle stamps the request-lifecycle wire fields from rc. A nil rc
-// leaves them zero, which the target interprets as a legacy request.
+// withLifecycle stamps the request-lifecycle wire fields from rc. Every
+// wire request carries a nonzero RequestID — the multiplexer matches
+// responses by it — so legacy nil-ctx calls mint a fresh trace ID here.
 func withLifecycle(rc *reqctx.Ctx, req Request) Request {
-	req.RequestID = rc.ID()
+	if req.RequestID = rc.ID(); req.RequestID == 0 {
+		req.RequestID = reqctx.NextID()
+	}
 	if d, ok := rc.Deadline(); ok {
 		req.Deadline = d.UnixNano()
 	}
@@ -97,7 +356,7 @@ func (c *Client) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpPut, Object: id, Class: class, Dirty: dirty, Payload: data}))
+	resp, err := c.roundTrip(rc, Request{Op: OpPut, Object: id, Class: class, Dirty: dirty, Payload: data})
 	if err != nil {
 		return 0, err
 	}
@@ -114,7 +373,7 @@ func (c *Client) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (data []byte, cost time
 	if err := rc.Err(); err != nil {
 		return nil, 0, false, err
 	}
-	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpGet, Object: id}))
+	resp, err := c.roundTrip(rc, Request{Op: OpGet, Object: id})
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -125,8 +384,14 @@ func (c *Client) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (data []byte, cost time
 }
 
 // Delete removes an object.
-func (c *Client) Delete(id osd.ObjectID) error {
-	resp, err := c.roundTrip(Request{Op: OpDelete, Object: id})
+func (c *Client) Delete(id osd.ObjectID) error { return c.DeleteCtx(nil, id) }
+
+// DeleteCtx is Delete carrying the request's ID and deadline on the wire.
+func (c *Client) DeleteCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(rc, Request{Op: OpDelete, Object: id})
 	if err != nil {
 		return err
 	}
@@ -136,7 +401,15 @@ func (c *Client) Delete(id osd.ObjectID) error {
 // Control writes a raw message to the communication object and returns the
 // target's sense code (the sense itself is the answer; no error mapping).
 func (c *Client) Control(msg osd.ControlMessage) (osd.SenseCode, error) {
-	resp, err := c.roundTrip(Request{Op: OpControl, Payload: msg.Encode()})
+	return c.ControlCtx(nil, msg)
+}
+
+// ControlCtx is Control carrying the request's ID and deadline on the wire.
+func (c *Client) ControlCtx(rc *reqctx.Ctx, msg osd.ControlMessage) (osd.SenseCode, error) {
+	if err := rc.Err(); err != nil {
+		return osd.SenseFailure, err
+	}
+	resp, err := c.roundTrip(rc, Request{Op: OpControl, Payload: msg.Encode()})
 	if err != nil {
 		return osd.SenseFailure, err
 	}
@@ -145,7 +418,15 @@ func (c *Client) Control(msg osd.ControlMessage) (osd.SenseCode, error) {
 
 // Status classifies an object per §IV.D.
 func (c *Client) Status(id osd.ObjectID) (store.ObjectStatus, error) {
-	resp, err := c.roundTrip(Request{Op: OpStatus, Object: id})
+	return c.StatusCtx(nil, id)
+}
+
+// StatusCtx is Status carrying the request's ID and deadline on the wire.
+func (c *Client) StatusCtx(rc *reqctx.Ctx, id osd.ObjectID) (store.ObjectStatus, error) {
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(rc, Request{Op: OpStatus, Object: id})
 	if err != nil {
 		return 0, err
 	}
@@ -157,7 +438,7 @@ func (c *Client) Status(id osd.ObjectID) (store.ObjectStatus, error) {
 
 // Stats snapshots the target.
 func (c *Client) Stats() (StatsBody, error) {
-	resp, err := c.roundTrip(Request{Op: OpStats})
+	resp, err := c.roundTrip(nil, Request{Op: OpStats})
 	if err != nil {
 		return StatsBody{}, err
 	}
@@ -169,7 +450,7 @@ func (c *Client) Stats() (StatsBody, error) {
 
 // FailDevice injects a device failure (the shootdown channel of §VI.C).
 func (c *Client) FailDevice(idx int) error {
-	resp, err := c.roundTrip(Request{Op: OpFailDevice, Index: int32(idx)})
+	resp, err := c.roundTrip(nil, Request{Op: OpFailDevice, Index: int32(idx)})
 	if err != nil {
 		return err
 	}
@@ -179,7 +460,7 @@ func (c *Client) FailDevice(idx int) error {
 // InsertSpare installs a blank spare and starts recovery, returning the
 // rebuild queue length.
 func (c *Client) InsertSpare(idx int) (int, error) {
-	resp, err := c.roundTrip(Request{Op: OpInsertSpare, Index: int32(idx)})
+	resp, err := c.roundTrip(nil, Request{Op: OpInsertSpare, Index: int32(idx)})
 	if err != nil {
 		return 0, err
 	}
@@ -188,7 +469,16 @@ func (c *Client) InsertSpare(idx int) (int, error) {
 
 // RecoverStep rebuilds up to n objects, returning (rebuilt, done).
 func (c *Client) RecoverStep(n int) (int, bool, error) {
-	resp, err := c.roundTrip(Request{Op: OpRecoverStep, Index: int32(n)})
+	return c.RecoverStepCtx(nil, n)
+}
+
+// RecoverStepCtx is RecoverStep carrying the request's ID and deadline on
+// the wire.
+func (c *Client) RecoverStepCtx(rc *reqctx.Ctx, n int) (int, bool, error) {
+	if err := rc.Err(); err != nil {
+		return 0, false, err
+	}
+	resp, err := c.roundTrip(rc, Request{Op: OpRecoverStep, Index: int32(n)})
 	if err != nil {
 		return 0, false, err
 	}
@@ -196,8 +486,15 @@ func (c *Client) RecoverStep(n int) (int, bool, error) {
 }
 
 // MarkClean clears the dirty flag of an object after a flush.
-func (c *Client) MarkClean(id osd.ObjectID) error {
-	resp, err := c.roundTrip(Request{Op: OpMarkClean, Object: id})
+func (c *Client) MarkClean(id osd.ObjectID) error { return c.MarkCleanCtx(nil, id) }
+
+// MarkCleanCtx is MarkClean carrying the request's ID and deadline on the
+// wire.
+func (c *Client) MarkCleanCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(rc, Request{Op: OpMarkClean, Object: id})
 	if err != nil {
 		return err
 	}
@@ -214,7 +511,7 @@ func (c *Client) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class)
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpReclassify, Object: id, Class: class}))
+	resp, err := c.roundTrip(rc, Request{Op: OpReclassify, Object: id, Class: class})
 	if err != nil {
 		return 0, err
 	}
@@ -231,7 +528,7 @@ func (c *Client) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, da
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(withLifecycle(rc, Request{Op: OpWriteRange, Object: id, Offset: offset, Payload: data}))
+	resp, err := c.roundTrip(rc, Request{Op: OpWriteRange, Object: id, Offset: offset, Payload: data})
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +537,7 @@ func (c *Client) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, da
 
 // Policy fetches the target's redundancy policy.
 func (c *Client) Policy() (policy.Policy, error) {
-	resp, err := c.roundTrip(Request{Op: OpPolicy})
+	resp, err := c.roundTrip(nil, Request{Op: OpPolicy})
 	if err != nil {
 		return nil, err
 	}

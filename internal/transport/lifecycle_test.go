@@ -29,6 +29,7 @@ func TestLifecycleSenseCodes(t *testing.T) {
 		{store.ErrCorrupted, osd.SenseCorrupted},
 		{store.ErrCacheFull, osd.SenseCacheFull},
 		{store.ErrRedundancyFull, osd.SenseRedundancyFull},
+		{store.ErrNotFound, osd.SenseNotFound},
 		{errors.New("boom"), osd.SenseFailure},
 	}
 	for _, tc := range cases {
@@ -47,6 +48,7 @@ func TestLifecycleSenseCodes(t *testing.T) {
 		{osd.SenseCorrupted, store.ErrCorrupted},
 		{osd.SenseCacheFull, store.ErrCacheFull},
 		{osd.SenseRedundancyFull, store.ErrRedundancyFull},
+		{osd.SenseNotFound, store.ErrNotFound},
 	}
 	for _, tc := range reverse {
 		err := senseError(Response{Sense: tc.sense, Message: "x"})
@@ -93,7 +95,9 @@ func TestServerRejectsExpiredDeadline(t *testing.T) {
 		reads += st.Array().Device(i).Stats().ReadOps
 	}
 
-	resp, err := client.roundTrip(Request{
+	// send bypasses the client-side rc.Err() fast path so the wire-level
+	// deadline enforcement is what gets exercised.
+	resp, err := client.send(nil, Request{
 		Op:        OpGet,
 		Object:    oid(1),
 		RequestID: 7,

@@ -109,6 +109,10 @@ type Request struct {
 
 // Response is a decoded response PDU.
 type Response struct {
+	// RequestID echoes the request's RequestID so a multiplexed initiator
+	// can match out-of-order responses back to their callers. Responses to
+	// frames whose request could not even be decoded carry 0.
+	RequestID uint64
 	// Sense is the Table III status.
 	Sense osd.SenseCode
 	// Message carries an error description when Sense != SenseOK.
@@ -228,7 +232,8 @@ func DecodeRequest(body []byte) (Request, error) {
 // EncodeResponse renders a response PDU body.
 func EncodeResponse(resp Response) []byte {
 	msg := []byte(resp.Message)
-	buf := make([]byte, 0, 80+len(msg)+len(resp.Payload))
+	buf := make([]byte, 0, 88+len(msg)+len(resp.Payload))
+	buf = binary.BigEndian.AppendUint64(buf, resp.RequestID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(resp.Sense)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
 	buf = append(buf, msg...)
@@ -251,12 +256,15 @@ func EncodeResponse(resp Response) []byte {
 
 // DecodeResponse parses a response PDU body.
 func DecodeResponse(body []byte) (Response, error) {
-	if len(body) < 6 {
+	if len(body) < 14 {
 		return Response{}, ErrShortFrame
 	}
-	resp := Response{Sense: osd.SenseCode(int32(binary.BigEndian.Uint32(body[0:4])))}
-	msgLen := int(binary.BigEndian.Uint16(body[4:6]))
-	rest := body[6:]
+	resp := Response{
+		RequestID: binary.BigEndian.Uint64(body[0:8]),
+		Sense:     osd.SenseCode(int32(binary.BigEndian.Uint32(body[8:12]))),
+	}
+	msgLen := int(binary.BigEndian.Uint16(body[12:14]))
+	rest := body[14:]
 	if len(rest) < msgLen {
 		return Response{}, ErrShortFrame
 	}

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reo-cache/reo/internal/bufpool"
@@ -12,10 +14,14 @@ import (
 	"github.com/reo-cache/reo/internal/reqctx"
 )
 
-// RemoteTarget adapts a Client into the cache manager's Target interface,
-// giving the full osd-initiator/osd-target split of the paper: the cache
-// manager runs on one host and drives the flash-array target over the
-// network.
+// RemoteTarget adapts one or more Clients into the cache manager's Target
+// interface, giving the full osd-initiator/osd-target split of the paper:
+// the cache manager runs on one host and drives the flash-array target over
+// the network.
+//
+// With a single client every operation multiplexes over that connection;
+// with a pool, operations round-robin across connections, spreading load
+// over independent sockets (and, on a real network, TCP windows).
 //
 // The policy and raw capacity are fetched once at construction (they are
 // immutable for a target's lifetime). Device health is polled lazily: it is
@@ -23,8 +29,9 @@ import (
 // lags by a bounded number of requests — the same observability the paper's
 // initiator has through its query commands.
 type RemoteTarget struct {
-	client *Client
-	pol    policy.Policy
+	clients []*Client
+	next    atomic.Uint64
+	pol     policy.Policy
 
 	mu          sync.Mutex
 	rawCapacity int64
@@ -40,21 +47,69 @@ var _ cache.Target = (*RemoteTarget)(nil)
 const statsRefreshOps = 32
 
 // NewRemoteTarget performs the initial handshake (policy + stats) and
-// returns the adapter.
+// returns the adapter over a single connection.
 func NewRemoteTarget(client *Client) (*RemoteTarget, error) {
-	pol, err := client.Policy()
+	return NewRemoteTargetPool([]*Client{client})
+}
+
+// NewRemoteTargetPool is NewRemoteTarget over a connection pool: requests
+// round-robin across the clients. The handshake runs on the first client.
+func NewRemoteTargetPool(clients []*Client) (*RemoteTarget, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("transport: remote target needs at least one client")
+	}
+	pol, err := clients[0].Policy()
 	if err != nil {
 		return nil, fmt.Errorf("transport: fetch policy: %w", err)
 	}
-	rt := &RemoteTarget{client: client, pol: pol}
+	rt := &RemoteTarget{clients: clients, pol: pol}
 	if err := rt.refreshStats(); err != nil {
 		return nil, fmt.Errorf("transport: fetch stats: %w", err)
 	}
 	return rt, nil
 }
 
+// DialRemoteTargetPool dials conns connections to addr and returns a pooled
+// RemoteTarget over them. Close releases every connection.
+func DialRemoteTargetPool(addr string, conns int) (*RemoteTarget, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	clients := make([]*Client, 0, conns)
+	for i := 0; i < conns; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			for _, prev := range clients {
+				_ = prev.Close()
+			}
+			return nil, err
+		}
+		clients = append(clients, c)
+	}
+	return NewRemoteTargetPool(clients)
+}
+
+// client picks the connection for the next operation.
+func (rt *RemoteTarget) client() *Client {
+	if len(rt.clients) == 1 {
+		return rt.clients[0]
+	}
+	return rt.clients[rt.next.Add(1)%uint64(len(rt.clients))]
+}
+
+// Close closes every pooled connection, failing their in-flight calls.
+func (rt *RemoteTarget) Close() error {
+	var first error
+	for _, c := range rt.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 func (rt *RemoteTarget) refreshStats() error {
-	stats, err := rt.client.Stats()
+	stats, err := rt.client().Stats()
 	if err != nil {
 		return err
 	}
@@ -83,7 +138,7 @@ func (rt *RemoteTarget) tick() {
 // the wire.
 func (rt *RemoteTarget) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
 	rt.tick()
-	return rt.client.PutCtx(rc, id, data, class, dirty)
+	return rt.client().PutCtx(rc, id, data, class, dirty)
 }
 
 // GetCtx implements cache.Target. The wire payload is freshly allocated by
@@ -91,7 +146,7 @@ func (rt *RemoteTarget) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, cla
 // no-op beyond breaking the reference, and the GC reclaims it.
 func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, time.Duration, bool, error) {
 	rt.tick()
-	data, cost, degraded, err := rt.client.GetCtx(rc, id)
+	data, cost, degraded, err := rt.client().GetCtx(rc, id)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -101,25 +156,25 @@ func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, t
 // Delete implements cache.Target.
 func (rt *RemoteTarget) Delete(id osd.ObjectID) error {
 	rt.tick()
-	return rt.client.Delete(id)
+	return rt.client().Delete(id)
 }
 
 // WriteRangeCtx implements cache.Target.
 func (rt *RemoteTarget) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
 	rt.tick()
-	return rt.client.WriteRangeCtx(rc, id, offset, data)
+	return rt.client().WriteRangeCtx(rc, id, offset, data)
 }
 
 // MarkClean implements cache.Target.
 func (rt *RemoteTarget) MarkClean(id osd.ObjectID) error {
 	rt.tick()
-	return rt.client.MarkClean(id)
+	return rt.client().MarkClean(id)
 }
 
 // ReclassifyCtx implements cache.Target.
 func (rt *RemoteTarget) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
 	rt.tick()
-	return rt.client.ReclassifyCtx(rc, id, class)
+	return rt.client().ReclassifyCtx(rc, id, class)
 }
 
 // Policy implements cache.Target.

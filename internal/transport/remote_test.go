@@ -139,7 +139,7 @@ func TestRemoteFailureDetection(t *testing.T) {
 	f.manager.RefreshClassification()
 
 	// Fail a device through a second admin connection.
-	adminConn, err := Dial(f.target.client.conn.RemoteAddr().String())
+	adminConn, err := Dial(f.target.client().conn.RemoteAddr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestRemoteFailureDetection(t *testing.T) {
 
 func TestRemoteTargetHealthAutoRefresh(t *testing.T) {
 	f := newRemoteFixture(t)
-	admin, err := Dial(f.target.client.conn.RemoteAddr().String())
+	admin, err := Dial(f.target.client().conn.RemoteAddr().String())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,9 +19,22 @@ import (
 // Server exposes an object storage target over a net.Listener, serving each
 // connection on its own goroutine. It is the network face of the paper's
 // user-level osd-target process.
+//
+// Each connection dispatches requests concurrently through a bounded worker
+// pool, so independent object operations from a multiplexed initiator
+// exploit the store's stripe-level parallelism end-to-end. Responses are
+// written back as their operations complete — possibly out of request
+// order — by a single per-connection writer goroutine; the RequestID echoed
+// on every response lets the initiator re-match them.
 type Server struct {
-	st *store.Store
-	ln net.Listener
+	st      *store.Store
+	ln      net.Listener
+	workers int
+
+	// opDelay, when set (tests only, before any connection is served),
+	// runs in the worker before dispatching a request — the injection
+	// point for slow-operation stress tests.
+	opDelay func(Request)
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -27,12 +42,43 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithConnWorkers bounds the per-connection dispatch pool to n concurrent
+// requests (values < 1 keep the default).
+func WithConnWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n >= 1 {
+			s.workers = n
+		}
+	}
+}
+
+// defaultConnWorkers sizes the per-connection dispatch pool: enough to keep
+// every core busy under a multiplexed initiator, clamped so a single
+// connection cannot monopolise the target.
+func defaultConnWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
 // NewServer starts serving the store on the listener. Close shuts it down.
-func NewServer(st *store.Store, ln net.Listener) *Server {
+func NewServer(st *store.Store, ln net.Listener, opts ...ServerOption) *Server {
 	s := &Server{
-		st:    st,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
+		st:      st,
+		ln:      ln,
+		workers: defaultConnWorkers(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -107,21 +153,93 @@ func (s *Server) handleConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+
+	// Completed responses funnel through one writer goroutine; its buffer
+	// depth matches the worker pool so a finished worker never blocks for
+	// long behind a slow wire.
+	out := make(chan Response, s.workers)
+	writerDone := make(chan struct{})
+	go connWriter(conn, out, writerDone)
+
+	sem := make(chan struct{}, s.workers)
+	var inflight sync.WaitGroup
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
-			return
+			break
 		}
 		req, err := DecodeRequest(frame)
-		var resp Response
 		if err != nil {
-			resp = Response{Sense: osd.SenseFailure, Message: err.Error()}
-		} else {
-			resp = s.dispatch(req)
+			// The frame length-prefix keeps the stream in sync even when a
+			// body is garbage; answer the failure inline (RequestID unknown,
+			// so it stays 0) and keep serving.
+			out <- Response{Sense: osd.SenseFailure, Message: err.Error()}
+			continue
 		}
-		if err := writeFrame(conn, EncodeResponse(resp)); err != nil {
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(req Request) {
+			defer inflight.Done()
+			defer func() { <-sem }()
+			if s.opDelay != nil {
+				s.opDelay(req)
+			}
+			resp := s.dispatch(req)
+			resp.RequestID = req.RequestID
+			out <- resp
+		}(req)
+	}
+	// Connection is gone (or closing): let in-flight operations finish,
+	// then retire the writer. The writer keeps draining even after a write
+	// error, so workers can never wedge on the out channel.
+	inflight.Wait()
+	close(out)
+	<-writerDone
+}
+
+// connWriter serialises responses onto the connection through a buffered
+// writer, flushing only when the queue momentarily empties so bursts of
+// completions coalesce into few syscalls. After a write error it closes the
+// connection and keeps consuming (discarding) responses until the channel
+// closes, so dispatch workers never block.
+func connWriter(conn net.Conn, out <-chan Response, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	broken := false
+	write := func(resp Response) {
+		if broken {
 			return
 		}
+		if err := writeFrame(bw, EncodeResponse(resp)); err != nil {
+			broken = true
+			_ = conn.Close()
+		}
+	}
+	flush := func() {
+		if broken {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			broken = true
+			_ = conn.Close()
+		}
+	}
+	for resp := range out {
+		write(resp)
+	coalesce:
+		for {
+			select {
+			case more, ok := <-out:
+				if !ok {
+					flush()
+					return
+				}
+				write(more)
+			default:
+				break coalesce
+			}
+		}
+		flush()
 	}
 }
 
@@ -275,6 +393,9 @@ func senseResponse(err error, resp Response) Response {
 		resp.Message = err.Error()
 	case errors.Is(err, store.ErrRedundancyFull):
 		resp.Sense = osd.SenseRedundancyFull
+		resp.Message = err.Error()
+	case errors.Is(err, store.ErrNotFound):
+		resp.Sense = osd.SenseNotFound
 		resp.Message = err.Error()
 	case errors.Is(err, context.Canceled):
 		resp.Sense = osd.SenseCancelled
