@@ -55,18 +55,20 @@ func run(args []string) error {
 		remote     = fs.Bool("remote", false, "replay over a real loopback transport (multiplexed wire) instead of the in-process simulator")
 		workers    = fs.Int("workers", 8, "concurrent request issuers for -remote")
 		conns      = fs.Int("conns", 1, "multiplexed connections in the -remote client pool")
+		asyncRecl  = fs.Bool("async-reclass", false, "run the asynchronous reclassification pipeline instead of the deterministic in-lock refresh (output no longer byte-comparable to golden runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := harness.Options{
-		Scale:       *scale,
-		Seed:        *seed,
-		Parallelism: *parallel,
-		Objects:     *objects,
-		Requests:    *requests,
-		Timeout:     *timeout,
-		CancelRate:  *cancelRate,
+		Scale:        *scale,
+		Seed:         *seed,
+		Parallelism:  *parallel,
+		Objects:      *objects,
+		Requests:     *requests,
+		Timeout:      *timeout,
+		CancelRate:   *cancelRate,
+		AsyncReclass: *asyncRecl,
 	}
 	if *cancelRate < 0 || *cancelRate > 1 {
 		return fmt.Errorf("cancel-rate %v outside [0,1]", *cancelRate)

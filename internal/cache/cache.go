@@ -22,12 +22,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/reo-cache/reo/internal/backend"
 	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
@@ -110,6 +110,20 @@ type Config struct {
 	MaxDirtyFraction float64
 	// HotnessMetric selects the hot/cold ranking function.
 	HotnessMetric HotnessMetric
+	// AsyncRefresh moves the periodic Hhot refresh off the request path:
+	// only a cheap snapshot is taken under the cache lock; ranking and
+	// re-encoding run in background goroutines (see refresh.go). The
+	// default (false) keeps the deterministic synchronous refresh whose
+	// cost is charged to virtual time — the simulator/harness path.
+	AsyncRefresh bool
+	// ReclassWorkers bounds the concurrency of the background
+	// reclassifier pool (async mode only). Zero defaults to 2.
+	ReclassWorkers int
+	// OpStats, when set, receives wall-clock refresh instrumentation:
+	// a "refresh.pause" histogram of time spent holding the cache lock
+	// per refresh and a "reclass.bg" histogram of per-object background
+	// re-encode latency.
+	OpStats *metrics.OpHistogram
 }
 
 func (c *Config) applyDefaults() error {
@@ -125,6 +139,9 @@ func (c *Config) applyDefaults() error {
 	if c.MaxDirtyFraction <= 0 {
 		c.MaxDirtyFraction = 0.25
 	}
+	if c.ReclassWorkers <= 0 {
+		c.ReclassWorkers = 2
+	}
 	return nil
 }
 
@@ -135,11 +152,24 @@ type entry struct {
 	dirty bool
 	class osd.Class
 	elem  *list.Element
+	// dirtyElem is the entry's element in Manager.dirtyList while dirty,
+	// nil otherwise. The dirty list mirrors LRU order among dirty entries
+	// so flush victim selection walks only dirty objects instead of
+	// rescanning the whole LRU per flush.
+	dirtyElem *list.Element
 	// flushing marks an in-flight write-back; flushDone closes when it
 	// completes. Both are guarded by Manager.mu — the latch lets other
 	// goroutines wait for the flush without holding the manager lock.
 	flushing  bool
 	flushDone chan struct{}
+	// reclassing marks an in-flight background reclassification;
+	// reclassDone closes when it completes. Guarded by Manager.mu like
+	// the flush latch. While held, paths that would delete, dirty, or
+	// flush the entry wait on the latch so the background re-encode
+	// never races a conflicting mutation. flushing and reclassing are
+	// mutually exclusive: each waits out the other before latching.
+	reclassing  bool
+	reclassDone chan struct{}
 }
 
 // fill is the in-flight latch for a backend miss. Concurrent misses on the
@@ -175,6 +205,22 @@ type Stats struct {
 	AdmissionSkips int64
 	Reclassified   int64
 	LostObjects    int64
+
+	// ReclassPending is the current backlog of the async reclassifier
+	// work-list (a gauge; zero when no refresh is in flight or in sync
+	// mode).
+	ReclassPending int64
+	// RefreshPauses counts classification refreshes; RefreshPauseTotal
+	// and RefreshPauseMax aggregate the wall-clock time the cache-wide
+	// lock was held per refresh — the whole refresh in synchronous mode,
+	// just the snapshot in async mode. The full latency distribution is
+	// available via Config.OpStats ("refresh.pause").
+	RefreshPauses     int64
+	RefreshPauseTotal time.Duration
+	RefreshPauseMax   time.Duration
+	// Hhot is the current adaptive hot threshold (a gauge; +Inf until
+	// the first refresh admits a hot set).
+	Hhot float64
 }
 
 // Result describes one request's outcome.
@@ -223,14 +269,26 @@ type Manager struct {
 	// not held across store or backend IO on the hot paths: hits read the
 	// store outside the lock, misses fetch the backend behind a per-object
 	// fill latch, and flushes run behind per-entry flush latches.
-	mu         sync.Mutex
-	entries    map[osd.ObjectID]*entry
-	fills      map[osd.ObjectID]*fill
-	lru        *list.List // front = most recent
+	mu      sync.Mutex
+	entries map[osd.ObjectID]*entry
+	fills   map[osd.ObjectID]*fill
+	lru     *list.List // front = most recent
+	// dirtyList holds exactly the dirty entries in LRU order (front =
+	// most recent); an entry is linked iff entry.dirtyElem != nil. Flush
+	// victim selection scans this list instead of the whole LRU.
+	dirtyList  *list.List
 	hhot       float64
 	dirtyBytes int64
 	readsSince int
 	stats      Stats
+
+	// Async refresh pipeline state (refresh.go). refreshActive is true
+	// while a background refresh episode (ranking + reclassifier pool)
+	// is in flight; refreshDone closes when it finishes. reclassPending
+	// is the remaining work-list backlog.
+	refreshActive  bool
+	refreshDone    chan struct{}
+	reclassPending int64
 }
 
 // New returns a cache manager over the given store and backend.
@@ -239,11 +297,12 @@ func New(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	return &Manager{
-		cfg:     cfg,
-		entries: make(map[osd.ObjectID]*entry),
-		fills:   make(map[osd.ObjectID]*fill),
-		lru:     list.New(),
-		hhot:    math.Inf(1), // everything cold until the first refresh
+		cfg:       cfg,
+		entries:   make(map[osd.ObjectID]*entry),
+		fills:     make(map[osd.ObjectID]*fill),
+		lru:       list.New(),
+		dirtyList: list.New(),
+		hhot:      math.Inf(1), // everything cold until the first refresh
 	}, nil
 }
 
@@ -295,7 +354,7 @@ func (m *Manager) ReadCtx(rc *reqctx.Ctx, id osd.ObjectID) (Result, error) {
 	if !m.disabledLocked() {
 		if e, ok := m.entries[id]; ok {
 			e.freq++
-			m.lru.MoveToFront(e.elem)
+			m.touchLocked(e)
 			m.mu.Unlock()
 			buf, cost, degraded, err := m.cfg.Store.GetCtx(rc, id)
 			switch {
@@ -318,8 +377,10 @@ func (m *Manager) ReadCtx(rc *reqctx.Ctx, id osd.ObjectID) (Result, error) {
 				return Result{}, err
 			case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
 				// The object died with a device; fall through to a miss.
+				// An entry mid-flush or mid-reclassification is left for
+				// its latch holder to settle.
 				m.mu.Lock()
-				if cur, ok := m.entries[id]; ok && cur == e && !e.flushing {
+				if cur, ok := m.entries[id]; ok && cur == e && !e.flushing && !e.reclassing {
 					m.dropEntryLocked(e)
 					m.stats.LostObjects++
 				}
@@ -497,14 +558,12 @@ func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirt
 			if !ok {
 				break
 			}
-			if prev.flushing {
-				// A write-back is in flight for the old copy; wait for it to
-				// settle before replacing the entry. The lock is dropped
-				// while waiting, so re-check from scratch afterwards.
-				ch := prev.flushDone
-				m.mu.Unlock()
-				<-ch
-				m.mu.Lock()
+			if prev.flushing || prev.reclassing {
+				// A write-back or background reclassification is in flight
+				// for the old copy; wait for it to settle before replacing
+				// the entry. The lock is dropped while waiting, so re-check
+				// from scratch afterwards.
+				m.latchWaitLocked(prev)
 				continue
 			}
 			if prev.dirty && (!dirty || rc.CanCancel()) {
@@ -530,6 +589,7 @@ func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirt
 			m.entries[id] = e
 			if dirty {
 				m.dirtyBytes += e.size
+				e.dirtyElem = m.dirtyList.PushFront(e)
 			}
 			return total, nil
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -568,13 +628,11 @@ func (m *Manager) evictOneLocked() (time.Duration, bool) {
 		if !ok {
 			return total, false
 		}
-		if e.flushing {
-			// The victim is mid-flush; wait for the latch and rescan (the
-			// LRU tail may have changed while the lock was dropped).
-			ch := e.flushDone
-			m.mu.Unlock()
-			<-ch
-			m.mu.Lock()
+		if e.flushing || e.reclassing {
+			// The victim is mid-flush or mid-reclassification; wait for
+			// the latch and rescan (the LRU tail may have changed while
+			// the lock was dropped).
+			m.latchWaitLocked(e)
 			continue
 		}
 		if e.dirty {
@@ -596,13 +654,11 @@ func (m *Manager) evictOneLocked() (time.Duration, bool) {
 // reclassification so concurrent requests keep flowing; the entry's flush
 // latch serialises flushers of the same entry.
 func (m *Manager) flushEntryLocked(e *entry) time.Duration {
-	for e.flushing {
-		// Another goroutine is already flushing this entry: wait on its
-		// latch rather than double-flushing, then re-check.
-		ch := e.flushDone
-		m.mu.Unlock()
-		<-ch
-		m.mu.Lock()
+	for e.flushing || e.reclassing {
+		// Another goroutine is already flushing this entry, or a
+		// background reclassification holds it: wait on the latch rather
+		// than racing it, then re-check.
+		m.latchWaitLocked(e)
 	}
 	if !e.dirty || m.entries[e.id] != e {
 		return 0
@@ -659,6 +715,7 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 		if clearDirty && e.dirty {
 			e.dirty = false
 			m.dirtyBytes -= e.size
+			m.clearDirtyLocked(e)
 		}
 		if reclassOK {
 			e.class = class
@@ -683,11 +740,13 @@ func (m *Manager) maybeFlushLocked() time.Duration {
 	target := limit / 2
 	var total time.Duration
 	for m.dirtyBytes > target {
-		// Each flush drops the lock, so rescan from the LRU tail rather
-		// than walking a possibly-stale element chain.
+		// Each flush drops the lock, so rescan from the dirty list's tail
+		// rather than walking a possibly-stale element chain. The scan
+		// touches only dirty entries (and skips just the mid-flush ones),
+		// not the whole LRU.
 		var victim *entry
-		for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
-			if e, ok := elem.Value.(*entry); ok && e.dirty && !e.flushing {
+		for elem := m.dirtyList.Back(); elem != nil; elem = elem.Prev() {
+			if e := elem.Value.(*entry); !e.flushing {
 				victim = e
 				break
 			}
@@ -707,23 +766,19 @@ func (m *Manager) FlushAll() time.Duration {
 	defer m.mu.Unlock()
 	var total time.Duration
 	for {
-		// Flushing drops the lock, so pick one victim per scan. When the
-		// only dirty entries left are mid-flush elsewhere, wait on one of
+		// Flushing drops the lock, so pick one victim per scan of the
+		// dirty list (clean entries never appear in it). When the only
+		// dirty entries left are mid-flush elsewhere, wait on one of
 		// their latches and rescan until everything has settled.
 		var victim, inflight *entry
-		for elem := m.lru.Back(); elem != nil; elem = elem.Prev() {
-			e, ok := elem.Value.(*entry)
-			if !ok {
-				continue
-			}
+		for elem := m.dirtyList.Back(); elem != nil; elem = elem.Prev() {
+			e := elem.Value.(*entry)
 			if e.flushing {
 				inflight = e
 				continue
 			}
-			if e.dirty {
-				victim = e
-				break
-			}
+			victim = e
+			break
 		}
 		switch {
 		case victim != nil:
@@ -743,99 +798,42 @@ func (m *Manager) dropEntryLocked(e *entry) {
 	if e.dirty {
 		m.dirtyBytes -= e.size
 	}
+	m.clearDirtyLocked(e)
 	m.lru.Remove(e.elem)
 	delete(m.entries, e.id)
 }
 
-// maybeRefreshLocked recomputes the adaptive hot threshold every
-// RefreshInterval reads and applies class changes.
-func (m *Manager) maybeRefreshLocked() time.Duration {
-	if m.readsSince < m.cfg.RefreshInterval {
-		return 0
+// clearDirtyLocked unlinks the entry from the dirty list (no-op if it is
+// not linked).
+func (m *Manager) clearDirtyLocked(e *entry) {
+	if e.dirtyElem != nil {
+		m.dirtyList.Remove(e.dirtyElem)
+		e.dirtyElem = nil
 	}
-	m.readsSince = 0
-	return m.refreshLocked()
 }
 
-// RefreshClassification recomputes Hhot immediately (exposed for tests and
-// tools) and returns the reclassification cost.
-func (m *Manager) RefreshClassification() time.Duration {
+// touchLocked records a use of the entry: most-recent in the LRU and,
+// if dirty, in the dirty list (the two lists stay order-consistent so
+// flush victims match what a full LRU scan would pick).
+func (m *Manager) touchLocked(e *entry) {
+	m.lru.MoveToFront(e.elem)
+	if e.dirtyElem != nil {
+		m.dirtyList.MoveToFront(e.dirtyElem)
+	}
+}
+
+// latchWaitLocked drops the manager lock until the entry's in-flight flush
+// or background reclassification completes, then retakes it. Callers must
+// re-check all entry state afterwards. Must only be called when e.flushing
+// or e.reclassing is set.
+func (m *Manager) latchWaitLocked(e *entry) {
+	ch := e.flushDone
+	if e.reclassing {
+		ch = e.reclassDone
+	}
+	m.mu.Unlock()
+	<-ch
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.refreshLocked()
-}
-
-// refreshLocked implements §IV.C.1: sort clean objects by H descending,
-// presumably admit them to the hot set until the redundancy their parity
-// would occupy reaches the reserved budget, and set Hhot to the H value of
-// the last admitted object. Non-differentiated policies have nothing to
-// differentiate: the threshold stays infinite and no re-encoding happens.
-func (m *Manager) refreshLocked() time.Duration {
-	pol := m.cfg.Store.Policy()
-	reo, ok := pol.(policy.Reo)
-	if !ok || !pol.Differentiated() {
-		return 0
-	}
-	alive := m.cfg.Store.AliveDevices()
-	if alive == 0 {
-		return 0
-	}
-	scheme := pol.SchemeFor(osd.ClassHotClean)
-	overhead := scheme.Overhead(alive)
-	if overhead <= 0 || overhead >= 1 {
-		return 0
-	}
-	budget := reo.ParityBudget * float64(m.cfg.Store.RawCapacity())
-
-	clean := make([]*entry, 0, len(m.entries))
-	for _, e := range m.entries {
-		if e.dirty {
-			// Dirty objects are Class 1 and protected unconditionally;
-			// the reserved budget covers only the hot clean set.
-			continue
-		}
-		clean = append(clean, e)
-	}
-	sort.Slice(clean, func(i, j int) bool { return m.hotness(clean[i]) > m.hotness(clean[j]) })
-
-	spent := 0.0
-	hhot := math.Inf(1)
-	for _, e := range clean {
-		need := float64(e.size) * overhead / (1 - overhead)
-		if spent+need > budget {
-			break
-		}
-		spent += need
-		hhot = m.hotness(e)
-	}
-	m.hhot = hhot
-
-	var total time.Duration
-	for _, e := range clean {
-		want := osd.ClassColdClean
-		if m.hotness(e) >= m.hhot {
-			want = osd.ClassHotClean
-		}
-		if want == e.class {
-			continue
-		}
-		cost, err := m.cfg.Store.ReclassifyCtx(nil, e.id, want)
-		if err != nil {
-			if errors.Is(err, store.ErrRedundancyFull) || errors.Is(err, store.ErrCacheFull) {
-				continue
-			}
-			if errors.Is(err, store.ErrCorrupted) || errors.Is(err, store.ErrNotFound) {
-				m.dropEntryLocked(e)
-				m.stats.LostObjects++
-				continue
-			}
-			continue
-		}
-		e.class = want
-		m.stats.Reclassified++
-		total += cost
-	}
-	return total
 }
 
 // Contains reports whether the object is currently cached.
@@ -867,11 +865,15 @@ func (m *Manager) HotThreshold() float64 {
 	return m.hhot
 }
 
-// Stats returns a copy of the activity counters.
+// Stats returns a copy of the activity counters plus the current gauges
+// (pending reclassifications, hot threshold).
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	s := m.stats
+	s.ReclassPending = m.reclassPending
+	s.Hhot = m.hhot
+	return s
 }
 
 // Disabled reports whether caching is currently out of service (failed

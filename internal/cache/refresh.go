@@ -1,0 +1,541 @@
+package cache
+
+// This file implements the adaptive hot/cold classification refresh
+// (paper §IV.C.1) in two modes.
+//
+// Synchronous (default): the deterministic simulator path. The refresh runs
+// under the manager lock, ranks every clean entry, recomputes Hhot, and
+// re-encodes reclassified objects inline, charging the cost to virtual
+// time — byte-identical to the original stop-the-world refresh.
+//
+// Asynchronous (Config.AsyncRefresh): the production path. The only work
+// done under the manager lock is a cheap snapshot of classification inputs
+// (id + size + precomputed hotness) into a pooled slice. Ranking happens
+// outside the lock via partial selection (budgetSelect) — only the side of
+// each pivot the parity-budget boundary falls in is examined, O(n) average
+// instead of a full O(n log n) sort. The resulting class-change work-list is
+// re-encoded by a bounded worker pool that takes a per-entry reclass latch
+// for each object (so evictions, flushes, and overwrites of an in-flight
+// object wait instead of racing) and defers to on-demand traffic through
+// the store's OnDemandInFlight gauge, mirroring background recovery.
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/store"
+)
+
+// snap captures one clean entry's classification inputs under the manager
+// lock. Hotness is precomputed once at snapshot time, so ranking is pure
+// field comparison — the hot sort/selection path calls no methods and
+// allocates nothing per comparison.
+type snap struct {
+	// e is set only on the synchronous path, where class changes are
+	// applied in place under the continuously-held lock. Async snapshots
+	// carry ids only and re-resolve entries at apply time.
+	e    *entry
+	id   osd.ObjectID
+	size int64
+	hot  float64
+}
+
+// hotterSnap is the total order used to rank snapshots: descending hotness,
+// ties broken by object ID. The tie-break makes the admitted set — and with
+// it the simulator's output — deterministic across runs; the previous
+// implementation sorted map-iteration-ordered entries with an unstable sort,
+// so equal-hotness populations classified differently run to run.
+func hotterSnap(a, b snap) bool {
+	if a.hot != b.hot {
+		return a.hot > b.hot
+	}
+	if a.id.PID != b.id.PID {
+		return a.id.PID < b.id.PID
+	}
+	return a.id.OID < b.id.OID
+}
+
+// snapPool recycles snapshot slices across refreshes so the periodic
+// refresh does not allocate proportionally to the cache population.
+var snapPool = sync.Pool{New: func() any { s := make([]snap, 0, 1024); return &s }}
+
+func putSnaps(sp *[]snap) {
+	*sp = (*sp)[:0]
+	snapPool.Put(sp)
+}
+
+// refreshParams are the policy inputs a refresh needs: the parity fraction
+// of a hot-clean stripe and the reserved redundancy budget in bytes.
+type refreshParams struct {
+	overhead float64
+	budget   float64
+}
+
+// refreshParamsLocked resolves the policy inputs, reporting false when there
+// is nothing to differentiate (non-Reo policy, uniform scheme, dead array).
+func (m *Manager) refreshParamsLocked() (refreshParams, bool) {
+	pol := m.cfg.Store.Policy()
+	reo, ok := pol.(policy.Reo)
+	if !ok || !pol.Differentiated() {
+		return refreshParams{}, false
+	}
+	alive := m.cfg.Store.AliveDevices()
+	if alive == 0 {
+		return refreshParams{}, false
+	}
+	scheme := pol.SchemeFor(osd.ClassHotClean)
+	overhead := scheme.Overhead(alive)
+	if overhead <= 0 || overhead >= 1 {
+		return refreshParams{}, false
+	}
+	return refreshParams{
+		overhead: overhead,
+		budget:   reo.ParityBudget * float64(m.cfg.Store.RawCapacity()),
+	}, true
+}
+
+// snapshotCleanLocked copies every clean entry's classification inputs into
+// a pooled slice. withEntries additionally records the entry pointers for
+// the synchronous in-lock apply path. The walk follows the LRU list, not
+// the entries map, so the snapshot order — and with it the admitted set
+// under hotness ties — is deterministic across runs.
+func (m *Manager) snapshotCleanLocked(withEntries bool) *[]snap {
+	sp := snapPool.Get().(*[]snap)
+	snaps := (*sp)[:0]
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.dirty {
+			// Dirty objects are Class 1 and protected unconditionally;
+			// the reserved budget covers only the hot clean set.
+			continue
+		}
+		s := snap{id: e.id, size: e.size, hot: m.hotness(e)}
+		if withEntries {
+			s.e = e
+		}
+		snaps = append(snaps, s)
+	}
+	*sp = snaps
+	return sp
+}
+
+// noteRefreshPauseLocked records how long the manager lock was held for a
+// refresh (the whole refresh in sync mode, just the snapshot in async mode).
+func (m *Manager) noteRefreshPauseLocked(d time.Duration) {
+	m.stats.RefreshPauses++
+	m.stats.RefreshPauseTotal += d
+	if d > m.stats.RefreshPauseMax {
+		m.stats.RefreshPauseMax = d
+	}
+	if m.cfg.OpStats != nil {
+		m.cfg.OpStats.Record("refresh.pause", d)
+	}
+}
+
+// admitBudget walks a descending-hotness snapshot admitting entries to the
+// hot set until the parity their stripes would occupy exceeds the reserved
+// budget, and returns the hotness of the last admitted entry (§IV.C.1). An
+// empty admission leaves the threshold at +Inf: everything stays cold.
+func admitBudget(sorted []snap, p refreshParams) float64 {
+	factor := p.overhead / (1 - p.overhead)
+	spent := 0.0
+	hhot := math.Inf(1)
+	for i := range sorted {
+		need := float64(sorted[i].size) * factor
+		if spent+need > p.budget {
+			break
+		}
+		spent += need
+		hhot = sorted[i].hot
+	}
+	return hhot
+}
+
+// budgetSelectCutoff is the segment size below which budgetSelect falls back
+// to sorting: tiny segments are cheaper to sort than to keep partitioning.
+const budgetSelectCutoff = 24
+
+// budgetSelect computes the same threshold admitBudget derives from a fully
+// sorted snapshot, but via quickselect-style partial selection: the snapshot
+// is partitioned around a pivot hotness, and only the side the parity-budget
+// boundary falls in is examined further, so ranking costs O(n) on average.
+// The slice is reordered in place.
+func budgetSelect(snaps []snap, p refreshParams) float64 {
+	factor := p.overhead / (1 - p.overhead)
+	remaining := p.budget
+	hhot := math.Inf(1)
+	lo, hi := 0, len(snaps)
+	for hi-lo > budgetSelectCutoff {
+		pivot := medianHot(snaps, lo, hi)
+		gt, eq := partitionHot(snaps, lo, hi, pivot)
+		// Sum the parity the hotter-than-pivot side needs, tracking its
+		// minimum hotness (the running threshold if it is fully admitted).
+		sum, minHot := 0.0, math.Inf(1)
+		for i := lo; i < gt; i++ {
+			sum += float64(snaps[i].size) * factor
+			if snaps[i].hot < minHot {
+				minHot = snaps[i].hot
+			}
+		}
+		if sum > remaining {
+			// The boundary is inside the hotter side: discard the rest.
+			hi = gt
+			continue
+		}
+		// The hotter side is fully admitted.
+		remaining -= sum
+		if gt > lo {
+			hhot = minHot
+		}
+		// Admit the pivot-equal group while it fits; a member that does
+		// not fit ends the admission outright (sorted-walk semantics).
+		for i := gt; i < eq; i++ {
+			need := float64(snaps[i].size) * factor
+			if need > remaining {
+				return hhot
+			}
+			remaining -= need
+			hhot = pivot
+		}
+		// Continue into the colder side with the leftover budget.
+		lo = eq
+	}
+	// Small remainder: sort it and walk like admitBudget.
+	seg := snaps[lo:hi]
+	sort.Slice(seg, func(i, j int) bool { return hotterSnap(seg[i], seg[j]) })
+	for i := range seg {
+		need := float64(seg[i].size) * factor
+		if need > remaining {
+			break
+		}
+		remaining -= need
+		hhot = seg[i].hot
+	}
+	return hhot
+}
+
+// medianHot picks a pivot as the median hotness of the segment's first,
+// middle, and last elements.
+func medianHot(snaps []snap, lo, hi int) float64 {
+	a, b, c := snaps[lo].hot, snaps[(lo+hi)/2].hot, snaps[hi-1].hot
+	switch {
+	case a < b:
+		switch {
+		case b < c:
+			return b
+		case a < c:
+			return c
+		default:
+			return a
+		}
+	case a < c:
+		return a
+	case b < c:
+		return c
+	default:
+		return b
+	}
+}
+
+// partitionHot three-way partitions snaps[lo:hi] by hotness descending:
+// [lo,gt) hotter than pivot, [gt,eq) equal, [eq,hi) colder.
+func partitionHot(snaps []snap, lo, hi int, pivot float64) (gt, eq int) {
+	i, j, k := lo, lo, hi
+	for j < k {
+		switch {
+		case snaps[j].hot > pivot:
+			snaps[i], snaps[j] = snaps[j], snaps[i]
+			i++
+			j++
+		case snaps[j].hot < pivot:
+			k--
+			snaps[j], snaps[k] = snaps[k], snaps[j]
+		default:
+			j++
+		}
+	}
+	return i, j
+}
+
+// refreshLocked is the deterministic synchronous refresh (§IV.C.1): sort
+// clean objects by H descending, admit them to the hot set until the
+// redundancy their parity would occupy reaches the reserved budget, set
+// Hhot to the H of the last admitted object, and re-encode every class
+// change inline — all under the manager lock, cost charged to virtual time.
+// Non-differentiated policies have nothing to differentiate: the threshold
+// stays infinite and no re-encoding happens.
+func (m *Manager) refreshLocked() time.Duration {
+	params, ok := m.refreshParamsLocked()
+	if !ok {
+		return 0
+	}
+	start := time.Now()
+	sp := m.snapshotCleanLocked(true)
+	snaps := *sp
+	sort.Slice(snaps, func(i, j int) bool { return hotterSnap(snaps[i], snaps[j]) })
+	m.hhot = admitBudget(snaps, params)
+
+	var total time.Duration
+	for i := range snaps {
+		e := snaps[i].e
+		if e.reclassing {
+			// An async worker owns this entry (manual sync refresh racing
+			// a background batch); it will settle against the new Hhot on
+			// the next refresh.
+			continue
+		}
+		want := osd.ClassColdClean
+		if snaps[i].hot >= m.hhot {
+			want = osd.ClassHotClean
+		}
+		if want == e.class {
+			continue
+		}
+		cost, err := m.cfg.Store.ReclassifyCtx(nil, e.id, want)
+		if err != nil {
+			if errors.Is(err, store.ErrCorrupted) || errors.Is(err, store.ErrNotFound) {
+				m.dropEntryLocked(e)
+				m.stats.LostObjects++
+			}
+			// Budget/capacity pressure (ErrRedundancyFull, ErrCacheFull)
+			// and hard store errors: leave the label; a later refresh
+			// retries.
+			continue
+		}
+		e.class = want
+		m.stats.Reclassified++
+		total += cost
+	}
+	putSnaps(sp)
+	m.noteRefreshPauseLocked(time.Since(start))
+	return total
+}
+
+// startAsyncRefreshLocked begins an asynchronous refresh: the snapshot — the
+// only stop-the-world part — is taken under the held lock, then ranking and
+// re-encoding are handed to background goroutines. At most one async refresh
+// runs at a time; triggers that land while one is active are dropped (the
+// next interval retries).
+func (m *Manager) startAsyncRefreshLocked() {
+	if m.refreshActive {
+		return
+	}
+	params, ok := m.refreshParamsLocked()
+	if !ok {
+		return
+	}
+	start := time.Now()
+	sp := m.snapshotCleanLocked(false)
+	m.refreshActive = true
+	m.refreshDone = make(chan struct{})
+	m.noteRefreshPauseLocked(time.Since(start))
+	go m.runRefresh(sp, params)
+}
+
+// runRefresh is the async refresh coordinator: rank the snapshot outside
+// the lock, install the new threshold, build the class-change work-list,
+// and drive it through the bounded reclassifier pool.
+func (m *Manager) runRefresh(sp *[]snap, params refreshParams) {
+	snaps := *sp
+	hhot := budgetSelect(snaps, params)
+
+	m.mu.Lock()
+	m.hhot = hhot
+	work := make([]osd.ObjectID, 0, len(snaps)/8+1)
+	for i := range snaps {
+		e, ok := m.entries[snaps[i].id]
+		if !ok || e.dirty || e.flushing || e.reclassing {
+			continue
+		}
+		want := osd.ClassColdClean
+		if snaps[i].hot >= hhot {
+			want = osd.ClassHotClean
+		}
+		if want != e.class {
+			work = append(work, snaps[i].id)
+		}
+	}
+	m.reclassPending = int64(len(work))
+	m.mu.Unlock()
+	putSnaps(sp)
+
+	if len(work) > 0 {
+		m.runReclassWorkers(work)
+	}
+
+	m.mu.Lock()
+	m.reclassPending = 0
+	m.refreshActive = false
+	close(m.refreshDone)
+	m.mu.Unlock()
+}
+
+// runReclassWorkers drains the work-list with bounded concurrency and
+// blocks until every item has been applied or skipped.
+func (m *Manager) runReclassWorkers(work []osd.ObjectID) {
+	n := m.cfg.ReclassWorkers
+	if n > len(work) {
+		n = len(work)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rc := reqctx.AcquireBackground(nil)
+			defer reqctx.Release(rc)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(work)) {
+					return
+				}
+				m.reclassOne(rc, work[i])
+				m.mu.Lock()
+				m.reclassPending--
+				m.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// onDemandYieldBudget caps how long a reclassifier defers to foreground
+// traffic per work item before proceeding anyway: background work yields at
+// every object boundary, but a continuously saturated foreground must not
+// starve it outright (the wait holds no latches, so it blocks nobody).
+const onDemandYieldBudget = 50 * time.Microsecond
+
+// yieldToOnDemand backs off while the target reports in-flight on-demand
+// requests, mirroring how background recovery yields between objects. Only
+// targets that expose the gauge (the in-process store) participate; remote
+// targets defer at the far end instead.
+func (m *Manager) yieldToOnDemand() {
+	g, ok := m.cfg.Store.(interface{ OnDemandInFlight() int64 })
+	if !ok || g.OnDemandInFlight() == 0 {
+		return
+	}
+	deadline := time.Now().Add(onDemandYieldBudget)
+	for g.OnDemandInFlight() > 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// reclassOne applies one class change from the async work-list. The target
+// class is recomputed against the live entry and current threshold at latch
+// time, so stale work items (entry evicted, rewritten, re-ranked, or gone
+// dirty since the snapshot) are dropped rather than applied.
+func (m *Manager) reclassOne(rc *reqctx.Ctx, id osd.ObjectID) {
+	m.yieldToOnDemand()
+
+	m.mu.Lock()
+	e, ok := m.entries[id]
+	if !ok || e.dirty || e.flushing || e.reclassing {
+		m.mu.Unlock()
+		return
+	}
+	want := osd.ClassColdClean
+	if m.hotness(e) >= m.hhot {
+		want = osd.ClassHotClean
+	}
+	if want == e.class {
+		m.mu.Unlock()
+		return
+	}
+	// Take the per-entry reclass latch: eviction, overwrite, partial
+	// update, and flush of this object wait on it instead of racing the
+	// re-encode below.
+	e.reclassing = true
+	e.reclassDone = make(chan struct{})
+	m.mu.Unlock()
+
+	start := time.Now()
+	_, err := m.cfg.Store.ReclassifyCtx(rc, id, want)
+	dur := time.Since(start)
+
+	m.mu.Lock()
+	e.reclassing = false
+	close(e.reclassDone)
+	if m.entries[id] == e {
+		switch {
+		case err == nil:
+			e.class = want
+			m.stats.Reclassified++
+		case errors.Is(err, store.ErrCorrupted), errors.Is(err, store.ErrNotFound):
+			m.dropEntryLocked(e)
+			m.stats.LostObjects++
+		}
+		// Budget/capacity pressure: keep the old label, retry next refresh.
+	}
+	m.mu.Unlock()
+	if m.cfg.OpStats != nil {
+		m.cfg.OpStats.Record("reclass.bg", dur)
+	}
+}
+
+// maybeRefreshLocked recomputes the adaptive hot threshold every
+// RefreshInterval reads: inline (returning the reclassification cost) in
+// synchronous mode, or by starting the background pipeline in async mode.
+func (m *Manager) maybeRefreshLocked() time.Duration {
+	if m.readsSince < m.cfg.RefreshInterval {
+		return 0
+	}
+	m.readsSince = 0
+	if m.cfg.AsyncRefresh {
+		m.startAsyncRefreshLocked()
+		return 0
+	}
+	return m.refreshLocked()
+}
+
+// RefreshClassification recomputes Hhot immediately and synchronously
+// (exposed for tests and tools) and returns the reclassification cost. It
+// uses the deterministic in-lock path even on async-configured managers.
+func (m *Manager) RefreshClassification() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshLocked()
+}
+
+// KickRefresh forces the periodic refresh to run now using the configured
+// mode: synchronous managers refresh inline and return the cost (like
+// RefreshClassification); async managers start the background pipeline and
+// return immediately.
+func (m *Manager) KickRefresh() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.AsyncRefresh {
+		m.startAsyncRefreshLocked()
+		return 0
+	}
+	return m.refreshLocked()
+}
+
+// RefreshActive reports whether an asynchronous refresh is in flight.
+func (m *Manager) RefreshActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refreshActive
+}
+
+// WaitRefresh blocks until no asynchronous refresh is in flight. It is the
+// quiesce point for shutdown (reo.Cache.Close) and tests; new refreshes can
+// start as soon as it returns.
+func (m *Manager) WaitRefresh() {
+	m.mu.Lock()
+	for m.refreshActive {
+		ch := m.refreshDone
+		m.mu.Unlock()
+		<-ch
+		m.mu.Lock()
+	}
+	m.mu.Unlock()
+}

@@ -43,13 +43,12 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 	var bg time.Duration
 	for {
 		if e, ok := m.entries[id]; ok {
-			if e.flushing {
+			if e.flushing || e.reclassing {
 				// An in-flight flush would clear the dirty bit this update
-				// is about to set; wait for it to settle, then re-check.
-				ch := e.flushDone
-				m.mu.Unlock()
-				<-ch
-				m.mu.Lock()
+				// is about to set, and an in-flight background reclass
+				// would re-encode under a clean class; wait for the latch
+				// to settle, then re-check.
+				m.latchWaitLocked(e)
 				continue
 			}
 			cost, err := m.cfg.Store.WriteRangeCtx(rc, id, offset, data)
@@ -58,9 +57,10 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 				if !e.dirty {
 					e.dirty = true
 					m.dirtyBytes += e.size
+					e.dirtyElem = m.dirtyList.PushFront(e)
 				}
 				e.class = osd.ClassDirty
-				m.lru.MoveToFront(e.elem)
+				m.touchLocked(e)
 				res := Result{
 					Hit:        true,
 					Bytes:      int64(len(data)),

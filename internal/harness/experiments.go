@@ -39,6 +39,11 @@ type Options struct {
 	// keep the legacy non-context replay path.
 	Timeout    time.Duration
 	CancelRate float64
+	// AsyncReclass runs every system with the asynchronous
+	// reclassification pipeline (reobench -async-reclass). Off by
+	// default: golden outputs assume the deterministic synchronous
+	// refresh.
+	AsyncReclass bool
 }
 
 // runConfig stamps the option-level instrumentation and request-lifecycle
@@ -47,6 +52,13 @@ func (o Options) runConfig(cfg RunConfig) RunConfig {
 	cfg.OpStats = o.OpStats
 	cfg.Timeout = o.Timeout
 	cfg.CancelRate = o.CancelRate
+	return cfg
+}
+
+// systemConfig stamps the option-level cache knobs onto one run's system.
+func (o Options) systemConfig(cfg SystemConfig) SystemConfig {
+	cfg.AsyncReclass = o.AsyncReclass
+	cfg.OpStats = o.OpStats
 	return cfg
 }
 
@@ -123,12 +135,12 @@ func NormalRun(loc workload.Locality, opts Options) ([]NormalRunRow, error) {
 		for ci, pct := range cachePcts {
 			pi, ci, pol, pct := pi, ci, pol, pct
 			tasks = append(tasks, func() error {
-				sys, err := BuildSystem(SystemConfig{
+				sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 					Policy:             pol,
 					CacheBytes:         tr.DatasetBytes * int64(pct) / 100,
 					ChunkSize:          opts.chunk(64 << 10),
 					MetadataObjectSize: opts.metadataSize(),
-				}, tr)
+				}), tr)
 				if err != nil {
 					return err
 				}
@@ -179,12 +191,12 @@ func SpaceEfficiency(opts Options) ([]SpaceRow, error) {
 					return err
 				}
 				pol := policy.Reo{ParityBudget: budget}
-				sys, err := BuildSystem(SystemConfig{
+				sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 					Policy:             pol,
 					CacheBytes:         tr.DatasetBytes / 10,
 					ChunkSize:          opts.chunk(64 << 10),
 					MetadataObjectSize: opts.metadataSize(),
-				}, tr)
+				}), tr)
 				if err != nil {
 					return err
 				}
@@ -251,12 +263,12 @@ func FailureResistance(opts Options) ([]FailureRow, error) {
 	for _, pol := range normalRunPolicies() {
 		pol := pol
 		tasks = append(tasks, func() error {
-			sys, err := BuildSystem(SystemConfig{
+			sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 				Policy:             pol,
 				CacheBytes:         tr.DatasetBytes / 10,
 				ChunkSize:          opts.chunk(1 << 20),
 				MetadataObjectSize: opts.metadataSize(),
-			}, tr)
+			}), tr)
 			if err != nil {
 				return err
 			}
@@ -339,12 +351,12 @@ func DirtyDataProtection(opts Options) ([]WriteRow, error) {
 				if err != nil {
 					return err
 				}
-				sys, err := BuildSystem(SystemConfig{
+				sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 					Policy:             pol,
 					CacheBytes:         tr.DatasetBytes / 10,
 					ChunkSize:          opts.chunk(64 << 10),
 					MetadataObjectSize: opts.metadataSize(),
-				}, tr)
+				}), tr)
 				if err != nil {
 					return err
 				}
@@ -430,13 +442,13 @@ func RecoveryAblation(opts Options) ([]RecoveryRow, error) {
 	failIdx := len(tr.Requests) / 5
 	var rows []RecoveryRow
 	for _, order := range []store.RecoveryOrder{store.RecoverByClass, store.RecoverByStripeID} {
-		sys, err := BuildSystem(SystemConfig{
+		sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 			Policy:             policy.Reo{ParityBudget: 0.20},
 			CacheBytes:         tr.DatasetBytes / 10,
 			ChunkSize:          opts.chunk(64 << 10),
 			MetadataObjectSize: opts.metadataSize(),
 			RecoveryOrder:      order,
-		}, tr)
+		}), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -526,13 +538,13 @@ func HotnessAblation(opts Options) ([]HotnessRow, error) {
 		name string
 		m    cache.HotnessMetric
 	}{{"freq/size", cache.FreqOverSize}, {"freq-only", cache.FreqOnly}} {
-		sys, err := BuildSystem(SystemConfig{
+		sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 			Policy:             policy.Reo{ParityBudget: 0.20},
 			CacheBytes:         tr.DatasetBytes / 10,
 			ChunkSize:          opts.chunk(64 << 10),
 			MetadataObjectSize: opts.metadataSize(),
 			HotnessMetric:      metric.m,
-		}, tr)
+		}), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -572,12 +584,12 @@ func ChunkAblation(opts Options) ([]ChunkRow, error) {
 	}
 	var rows []ChunkRow
 	for _, paperChunk := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
-		sys, err := BuildSystem(SystemConfig{
+		sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 			Policy:             policy.Reo{ParityBudget: 0.20},
 			CacheBytes:         tr.DatasetBytes / 10,
 			ChunkSize:          opts.chunk(paperChunk),
 			MetadataObjectSize: opts.metadataSize(),
-		}, tr)
+		}), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -622,13 +634,13 @@ func WearAblation(opts Options) ([]WearRow, error) {
 		name    string
 		disable bool
 	}{{"rotated", false}, {"dedicated", true}} {
-		sys, err := BuildSystem(SystemConfig{
+		sys, err := BuildSystem(opts.systemConfig(SystemConfig{
 			Policy:                policy.Reo{ParityBudget: 0.20},
 			CacheBytes:            tr.DatasetBytes / 10,
 			ChunkSize:             opts.chunk(64 << 10),
 			MetadataObjectSize:    opts.metadataSize(),
 			DisableParityRotation: variant.disable,
-		}, tr)
+		}), tr)
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,17 @@ type SystemConfig struct {
 	MetadataObjectSize int
 	// DisableParityRotation pins parity placement (wear ablation).
 	DisableParityRotation bool
+	// AsyncReclass switches the cache manager to the asynchronous
+	// reclassification pipeline. Off by default: the simulator's golden
+	// outputs depend on the deterministic synchronous refresh whose cost
+	// is charged to virtual time.
+	AsyncReclass bool
+	// ReclassWorkers bounds the async reclassifier pool (0 = default).
+	ReclassWorkers int
+	// OpStats, when set, receives the cache's refresh instrumentation
+	// ("refresh.pause", "reclass.bg") alongside the per-request latencies
+	// RunConfig.OpStats records.
+	OpStats *metrics.OpHistogram
 }
 
 // System is a fully wired cache server plus its backend and virtual clock.
@@ -98,6 +109,9 @@ func BuildSystem(cfg SystemConfig, tr *workload.Trace) (*System, error) {
 		NetworkRTT:       100 * time.Microsecond,
 		RefreshInterval:  500,
 		HotnessMetric:    cfg.HotnessMetric,
+		AsyncRefresh:     cfg.AsyncReclass,
+		ReclassWorkers:   cfg.ReclassWorkers,
+		OpStats:          cfg.OpStats,
 	})
 	if err != nil {
 		return nil, err
@@ -411,6 +425,15 @@ func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) erro
 		res.TotalReads = totalReads.Snapshot(now)
 		res.TotalAll = totalAll.Snapshot(now)
 		res.Elapsed = now - measuredStart
+		if cfg.OpStats != nil {
+			// An async refresh may still be applying class changes; settle
+			// it so the gauges below reflect the quiesced cache.
+			sys.Cache.WaitRefresh()
+			cs := sys.Cache.Stats()
+			cfg.OpStats.SetGauge("cache.hhot", cs.Hhot)
+			cfg.OpStats.SetGauge("cache.reclass_pending", float64(cs.ReclassPending))
+			cfg.OpStats.SetGauge("cache.refresh_pauses", float64(cs.RefreshPauses))
+		}
 	}
 	return nil
 }

@@ -111,6 +111,8 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		NetworkBandwidth: 1.25e9,
 		NetworkRTT:       100 * time.Microsecond,
 		RefreshInterval:  500,
+		AsyncRefresh:     opts.AsyncReclass,
+		OpStats:          opts.OpStats,
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +165,7 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	cm.WaitRefresh() // settle any in-flight async reclassification
 	select {
 	case err := <-errCh:
 		return nil, err

@@ -168,8 +168,9 @@ func (s Stats) String() string {
 // is intended for profiling runs: the harness records every request's
 // latency under its op label so tail behaviour can be broken down by path.
 type OpHistogram struct {
-	mu  sync.Mutex
-	ops map[string]*opBucket
+	mu     sync.Mutex
+	ops    map[string]*opBucket
+	gauges map[string]float64
 }
 
 type opBucket struct {
@@ -234,6 +235,38 @@ func (h *OpHistogram) RecordOutcome(op string, err error) {
 	h.mu.Unlock()
 }
 
+// SetGauge records a point-in-time value (queue depth, threshold, ...)
+// under the given name; the latest value wins. Gauges print after the op
+// lines in String.
+func (h *OpHistogram) SetGauge(name string, v float64) {
+	h.mu.Lock()
+	if h.gauges == nil {
+		h.gauges = make(map[string]float64)
+	}
+	h.gauges[name] = v
+	h.mu.Unlock()
+}
+
+// Gauge returns the last value recorded under name.
+func (h *OpHistogram) Gauge(name string) (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.gauges[name]
+	return v, ok
+}
+
+// Gauges returns the gauge names in sorted order.
+func (h *OpHistogram) Gauges() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.gauges))
+	for name := range h.gauges {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // OpStats summarises one operation's latency distribution.
 type OpStats struct {
 	Op    string
@@ -282,6 +315,10 @@ func (h *OpHistogram) String() string {
 			fmt.Fprintf(&sb, " deadline_exceeded=%d", s.DeadlineExceeded)
 		}
 		sb.WriteByte('\n')
+	}
+	for _, name := range h.Gauges() {
+		v, _ := h.Gauge(name)
+		fmt.Fprintf(&sb, "%-12s gauge=%g\n", name, v)
 	}
 	return sb.String()
 }

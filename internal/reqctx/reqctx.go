@@ -112,6 +112,14 @@ func Acquire(ctx context.Context) *Ctx {
 	return rc
 }
 
+// AcquireBackground returns a pooled request context wrapping ctx at
+// Background priority — for work (flushes, reclassification, recovery
+// batches) that should identify itself so layers below can make it yield to
+// on-demand traffic. Return it with Release like any Acquired context.
+func AcquireBackground(ctx context.Context) *Ctx {
+	return Acquire(ctx).WithPriority(Background)
+}
+
 // Release returns an Acquired context to the pool. Releasing nil or a
 // non-pooled context is a no-op.
 func Release(rc *Ctx) {

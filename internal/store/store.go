@@ -19,6 +19,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -490,9 +491,33 @@ func (s *Store) Reclassify(id osd.ObjectID, class osd.Class) (time.Duration, err
 	return s.ReclassifyCtx(nil, id, class)
 }
 
+// reclassYieldBudget caps how long a background reclassification defers to
+// on-demand traffic before taking the store lock anyway — deference, not
+// starvation.
+const reclassYieldBudget = 50 * time.Microsecond
+
+// yieldToOnDemand makes explicitly-background requests (rc non-nil with
+// Background priority) back off while on-demand requests are in flight,
+// the same way the recovery engine yields between objects (§IV.D): clients
+// bump the gauge before queueing on s.mu, so a foreground backlog is
+// visible here before we contend for the lock. A nil rc — the legacy
+// synchronous refresh and flush paths, whose cost is charged to virtual
+// time — never yields, keeping those paths byte-identical.
+func (s *Store) yieldToOnDemand(rc *reqctx.Ctx) {
+	if rc == nil || rc.OnDemand() || s.onDemand.Load() == 0 {
+		return
+	}
+	deadline := time.Now().Add(reclassYieldBudget)
+	for s.onDemand.Load() > 0 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
 // ReclassifyCtx is Reclassify under a request context. As with PutCtx, a
 // cancellable request re-encodes write-first so an abort mid-rewrite leaves
-// the object readable under its old scheme.
+// the object readable under its old scheme. Background-priority requests
+// (the cache's async reclassifier pool) defer to in-flight on-demand
+// traffic before contending for the store lock.
 func (s *Store) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
 	if !class.Valid() {
 		return 0, fmt.Errorf("store: invalid class %d", class)
@@ -500,6 +525,7 @@ func (s *Store) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) 
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
+	s.yieldToOnDemand(rc)
 	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()

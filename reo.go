@@ -111,6 +111,8 @@ type config struct {
 	maxDirtyFraction float64
 	recoveryOrder    store.RecoveryOrder
 	metadataSize     int
+	asyncReclass     bool
+	reclassWorkers   int
 }
 
 // Option customises a Cache.
@@ -149,6 +151,20 @@ func WithRefreshInterval(reads int) Option { return func(c *config) { c.refreshI
 // WithMaxDirtyFraction bounds the share of cache capacity dirty data may
 // occupy before background flushing starts (default 0.25).
 func WithMaxDirtyFraction(f float64) Option { return func(c *config) { c.maxDirtyFraction = f } }
+
+// WithAsyncReclassification moves the periodic hot/cold refresh off the
+// request path: Hhot is ranked outside the cache lock from a cheap snapshot
+// and class changes are re-encoded by a bounded background worker pool that
+// defers to on-demand traffic. workers bounds the pool's concurrency
+// (<= 0 selects the default, 2). Background re-encode work is not charged
+// to the virtual clock in this mode (it overlaps request service), so
+// results are not byte-comparable with the synchronous default.
+func WithAsyncReclassification(workers int) Option {
+	return func(c *config) {
+		c.asyncReclass = true
+		c.reclassWorkers = workers
+	}
+}
 
 // WithStripeOrderRecovery switches background recovery to traditional
 // storage-address order instead of class order (the paper's baseline; for
@@ -212,6 +228,8 @@ func New(opts ...Option) (*Cache, error) {
 		NetworkRTT:       cfg.networkRTT,
 		RefreshInterval:  cfg.refreshInterval,
 		MaxDirtyFraction: cfg.maxDirtyFraction,
+		AsyncRefresh:     cfg.asyncReclass,
+		ReclassWorkers:   cfg.reclassWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -224,9 +242,11 @@ func New(opts ...Option) (*Cache, error) {
 	}, nil
 }
 
-// Close flushes all dirty data to the backend. The instance remains usable;
+// Close flushes all dirty data to the backend, first quiescing any
+// in-flight asynchronous reclassification. The instance remains usable;
 // Close exists so deployments can guarantee durability at shutdown.
 func (c *Cache) Close() error {
+	c.manager.WaitRefresh()
 	c.clock.Advance(c.manager.FlushAll())
 	return nil
 }
