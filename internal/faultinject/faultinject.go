@@ -1,0 +1,193 @@
+// Package faultinject is a deterministic fault injector for the flash
+// array. Every injection decision is a pure function of (seed, device,
+// op-index): each device hook keeps an atomic per-device operation counter,
+// hashes it with the plan seed and device slot, and maps the result onto
+// the configured fault-rate thresholds. Replaying the same workload with
+// the same plan therefore injects the identical fault sequence — chaos runs
+// are byte-reproducible.
+//
+// The injector produces the partial-failure taxonomy the paper motivates:
+// transient I/O errors (retryable), latent sector errors (chunk lost until
+// rewritten), silent bit-flips (stale CRC, caught by the read path's
+// checksum), fail-slow latency multipliers, and scheduled fail-stop.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/reo-cache/reo/internal/flash"
+)
+
+// FailSlow schedules a fail-slow fault: from op FromOp onward, every op on
+// the device costs Factor× its nominal virtual time.
+type FailSlow struct {
+	FromOp int64
+	Factor float64
+}
+
+// Plan configures an Injector. Rates are per-operation probabilities in
+// [0, 1); they partition the unit interval, so their sum must stay below 1.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// TransientRate injects retryable I/O errors on reads and writes.
+	TransientRate float64
+	// BitFlipRate corrupts one stored bit before a read, leaving the chunk
+	// CRC stale so the device detects and drops the chunk (reads only).
+	BitFlipRate float64
+	// LatentRate discards the addressed chunk during a read — a latent
+	// sector error: the data is gone until rewritten (reads only).
+	LatentRate float64
+	// FailSlow maps device slot → fail-slow schedule.
+	FailSlow map[int]FailSlow
+	// FailStop maps device slot → op index at which the device fail-stops.
+	FailStop map[int]int64
+}
+
+// Counters aggregates what the injector actually did across all devices.
+type Counters struct {
+	Ops        int64 // device operations the injector saw
+	Transient  int64 // transient errors injected
+	BitFlips   int64 // silent bit-flips applied
+	Latent     int64 // latent sector errors injected
+	FailSlow   int64 // operations slowed by a fail-slow schedule
+	FailStops  int64 // fail-stop faults delivered
+	ManualCorr int64 // corruptions applied through Corrupt
+}
+
+// Injector hands out per-device flash.FaultHook implementations that share
+// one plan and one set of counters.
+type Injector struct {
+	plan Plan
+
+	ops        atomic.Int64
+	transient  atomic.Int64
+	bitFlips   atomic.Int64
+	latent     atomic.Int64
+	failSlow   atomic.Int64
+	failStops  atomic.Int64
+	manualCorr atomic.Int64
+}
+
+// New validates the plan and returns an injector.
+func New(plan Plan) (*Injector, error) {
+	if plan.TransientRate < 0 || plan.BitFlipRate < 0 || plan.LatentRate < 0 {
+		return nil, fmt.Errorf("faultinject: negative fault rate")
+	}
+	if sum := plan.TransientRate + plan.BitFlipRate + plan.LatentRate; sum >= 1 {
+		return nil, fmt.Errorf("faultinject: fault rates sum to %v, must be < 1", sum)
+	}
+	for dev, fs := range plan.FailSlow {
+		if fs.Factor < 1 {
+			return nil, fmt.Errorf("faultinject: fail-slow factor %v on device %d must be >= 1", fs.Factor, dev)
+		}
+	}
+	return &Injector{plan: plan}, nil
+}
+
+// Hook returns the fault hook for device slot dev. Each hook keeps its own
+// op-index counter so decisions depend only on (seed, device, op-index).
+func (inj *Injector) Hook(dev int) flash.FaultHook {
+	return &deviceHook{inj: inj, dev: dev}
+}
+
+// Attach installs a hook on every device in the array.
+func (inj *Injector) Attach(arr *flash.Array) {
+	for i := 0; i < arr.N(); i++ {
+		arr.Device(i).SetFaultHook(inj.Hook(i))
+	}
+}
+
+// Detach removes the injector's hooks from every device in the array.
+func Detach(arr *flash.Array) {
+	for i := 0; i < arr.N(); i++ {
+		arr.Device(i).SetFaultHook(nil)
+	}
+}
+
+// Corrupt flips one bit of a stored chunk through the same corruption path
+// the scheduled bit-flip faults use (flash.Device.InjectCorruption), and
+// counts it. silent=true recomputes the stored CRC (only scrub's redundancy
+// cross-check can find it); silent=false leaves the CRC stale so the next
+// foreground read detects it.
+func (inj *Injector) Corrupt(d *flash.Device, addr flash.ChunkAddr, offset int, silent bool) bool {
+	ok := d.InjectCorruption(addr, offset, silent)
+	if ok {
+		inj.manualCorr.Add(1)
+	}
+	return ok
+}
+
+// Counters returns a snapshot of the injector's activity.
+func (inj *Injector) Counters() Counters {
+	return Counters{
+		Ops:        inj.ops.Load(),
+		Transient:  inj.transient.Load(),
+		BitFlips:   inj.bitFlips.Load(),
+		Latent:     inj.latent.Load(),
+		FailSlow:   inj.failSlow.Load(),
+		FailStops:  inj.failStops.Load(),
+		ManualCorr: inj.manualCorr.Load(),
+	}
+}
+
+type deviceHook struct {
+	inj *Injector
+	dev int
+	ops atomic.Int64
+}
+
+// Decide implements flash.FaultHook. Each call consumes one op index;
+// retried attempts therefore draw fresh decisions, so a transient fault is
+// transient rather than sticky.
+func (h *deviceHook) Decide(op flash.FaultOp, addr flash.ChunkAddr) flash.FaultDecision {
+	idx := h.ops.Add(1) - 1
+	inj := h.inj
+	inj.ops.Add(1)
+	var dec flash.FaultDecision
+	if at, ok := inj.plan.FailStop[h.dev]; ok && idx >= at {
+		dec.FailStop = true
+		inj.failStops.Add(1)
+		return dec
+	}
+	if fs, ok := inj.plan.FailSlow[h.dev]; ok && idx >= fs.FromOp {
+		dec.LatencyScale = fs.Factor
+		inj.failSlow.Add(1)
+	}
+	r := uniform(inj.plan.Seed, h.dev, idx)
+	p := inj.plan
+	switch {
+	case r < p.TransientRate:
+		dec.Err = fmt.Errorf("%w: injected (dev %d op %d)", flash.ErrTransientIO, h.dev, idx)
+		inj.transient.Add(1)
+	case op == flash.FaultRead && r < p.TransientRate+p.BitFlipRate:
+		// Derive a bit position from an independent hash stream; the device
+		// clamps it modulo the chunk length.
+		dec.FlipByte = 1 + int(mix64(key(p.Seed, h.dev, idx)^0xBF1F)%(1<<20))
+		inj.bitFlips.Add(1)
+	case op == flash.FaultRead && r < p.TransientRate+p.BitFlipRate+p.LatentRate:
+		dec.DropChunk = true
+		inj.latent.Add(1)
+	}
+	return dec
+}
+
+func key(seed int64, dev int, idx int64) uint64 {
+	return uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(dev)<<48 ^ uint64(idx)
+}
+
+// uniform maps (seed, device, op-index) to a uniform float in [0, 1).
+func uniform(seed int64, dev int, idx int64) float64 {
+	return float64(mix64(key(seed, dev, idx))>>11) / float64(1<<53)
+}
+
+// mix64 is a splitmix64 finaliser.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

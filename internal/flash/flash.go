@@ -5,6 +5,14 @@
 // exercises: taking a device offline ("shootdown") and inserting a blank
 // spare to trigger reconstruction.
 //
+// Beyond clean fail-stop, devices model the partial failures that dominate
+// in practice (transient read errors, latent sector errors, silent bit rot,
+// fail-slow): every chunk carries a CRC32C verified on each foreground read,
+// a pluggable FaultHook can inject faults deterministically, transient
+// errors are retried with bounded exponential backoff, and a per-device
+// health monitor (windowed error rate + latency-slowdown EWMA) transitions
+// the device healthy → suspect → failed without operator involvement.
+//
 // Devices return costs instead of touching a clock directly so that callers
 // can combine concurrent chunk operations (a stripe read fans out across
 // devices) into a single critical-path charge.
@@ -13,6 +21,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -27,6 +36,7 @@ type State int
 const (
 	StateHealthy State = iota + 1
 	StateFailed        // device has failed; contents are inaccessible
+	StateSuspect       // device still serves IO but health metrics are degraded
 )
 
 // String returns the state name.
@@ -34,6 +44,8 @@ func (s State) String() string {
 	switch s {
 	case StateHealthy:
 		return "healthy"
+	case StateSuspect:
+		return "suspect"
 	case StateFailed:
 		return "failed"
 	default:
@@ -46,11 +58,63 @@ var (
 	ErrDeviceFailed  = errors.New("flash: device has failed")
 	ErrChunkNotFound = errors.New("flash: chunk not found")
 	ErrDeviceFull    = errors.New("flash: device is full")
+	// ErrTransientIO marks a retryable fault: the op may succeed if retried.
+	// Devices retry it internally with bounded backoff before surfacing it.
+	ErrTransientIO = errors.New("flash: transient io error")
+	// ErrChunkCorrupt reports that a chunk failed its checksum or hit a
+	// latent sector error. The device drops the chunk when this happens, so
+	// callers observe it exactly like a missing chunk and route the read
+	// through degraded-path reconstruction.
+	ErrChunkCorrupt = errors.New("flash: chunk corrupt")
 )
+
+// IsTransient reports whether err is a retryable device fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }
+
+// castagnoli is the CRC32C table used for per-chunk checksums (the
+// polynomial storage systems use for end-to-end integrity).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ChunkAddr identifies a chunk on a device. Addresses are assigned by the
 // stripe manager and are unique per device.
 type ChunkAddr uint64
+
+// FaultOp distinguishes the operation a FaultHook is consulted for.
+type FaultOp uint8
+
+// Fault operations.
+const (
+	FaultRead FaultOp = iota
+	FaultWrite
+)
+
+// FaultDecision is what a FaultHook injects into one device operation. The
+// zero value means "no fault".
+type FaultDecision struct {
+	// Err, when non-nil, fails the attempt with this error. Wrap
+	// ErrTransientIO to make the device retry it with backoff.
+	Err error
+	// DropChunk discards the addressed chunk before the op proceeds,
+	// modelling a latent sector error: the data is gone until rewritten.
+	// Only honoured on reads of chunks that exist.
+	DropChunk bool
+	// FlipByte, when positive, flips one bit in stored byte (FlipByte-1)
+	// modulo the chunk length, leaving the stored CRC stale so the read
+	// path detects it. Only honoured on reads. Zero means no corruption.
+	FlipByte int
+	// LatencyScale > 1 multiplies the op's virtual-time cost (fail-slow).
+	LatencyScale float64
+	// FailStop fails the whole device before the op (contents discarded).
+	FailStop bool
+}
+
+// FaultHook decides, per operation, which fault (if any) to inject. A hook
+// must be safe for concurrent use and must not call back into the device.
+// Implementations that derive decisions from (seed, device, op-index) make
+// fault runs replay deterministically; see internal/faultinject.
+type FaultHook interface {
+	Decide(op FaultOp, addr ChunkAddr) FaultDecision
+}
 
 // Spec holds the performance and capacity parameters of a flash device.
 type Spec struct {
@@ -85,26 +149,48 @@ type Stats struct {
 	BytesWritten int64
 }
 
+// Retry policy for transient faults: bounded exponential backoff with
+// deterministic jitter, real (wall-clock) sleeps only — virtual time is
+// charged per attempt from the device spec, so fault-free runs are
+// byte-identical with retries compiled in.
+const (
+	maxIOAttempts  = 4
+	retryBaseDelay = 50 * time.Microsecond
+	retryMaxDelay  = 2 * time.Millisecond
+)
+
 // Device is a simulated flash SSD. All methods are safe for concurrent use.
 type Device struct {
 	mu    sync.Mutex
 	spec  Spec
 	state State
 	data  map[ChunkAddr][]byte
+	crcs  map[ChunkAddr]uint32
 	used  int64
 	stats Stats
 	// generation counts how many physical devices have occupied this slot;
 	// it increments on Replace so stale chunk references can be detected.
 	generation int
+	hook       FaultHook
+	health     healthState
 }
 
 // NewDevice returns a healthy, empty device with the given spec.
 func NewDevice(spec Spec) *Device {
 	return &Device{
-		spec:  spec,
-		state: StateHealthy,
-		data:  make(map[ChunkAddr][]byte),
+		spec:   spec,
+		state:  StateHealthy,
+		data:   make(map[ChunkAddr][]byte),
+		crcs:   make(map[ChunkAddr]uint32),
+		health: newHealthState(),
 	}
+}
+
+// SetFaultHook installs (or, with nil, removes) the device's fault injector.
+func (d *Device) SetFaultHook(h FaultHook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hook = h
 }
 
 // Spec returns the device's parameters.
@@ -119,6 +205,15 @@ func (d *Device) State() State {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.state
+}
+
+// Serving reports whether the device still accepts IO: healthy or suspect.
+// Suspect devices keep serving (at degraded confidence) until the health
+// monitor declares them failed.
+func (d *Device) Serving() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state != StateFailed
 }
 
 // Generation returns the device slot's replacement count.
@@ -162,13 +257,55 @@ func (d *Device) WearCycles() float64 {
 	return float64(d.stats.BytesWritten) / float64(d.spec.CapacityBytes)
 }
 
+// scaleCost multiplies a virtual-time cost by a fail-slow factor.
+func scaleCost(cost time.Duration, scale float64) time.Duration {
+	if scale <= 1 {
+		return cost
+	}
+	return time.Duration(float64(cost) * scale)
+}
+
 // Write stores a copy of data at addr and returns the virtual-time cost.
-// Overwriting an existing chunk releases its old space first.
+// Overwriting an existing chunk releases its old space first. Transient
+// injected faults are retried with bounded backoff.
 func (d *Device) Write(addr ChunkAddr, data []byte) (time.Duration, error) {
+	return d.write(nil, addr, data)
+}
+
+func (d *Device) write(rc *reqctx.Ctx, addr ChunkAddr, data []byte) (time.Duration, error) {
+	var total time.Duration
+	for attempt := 0; ; attempt++ {
+		cost, err := d.writeOnce(addr, data)
+		total += cost
+		if err == nil || !IsTransient(err) || attempt+1 >= maxIOAttempts {
+			if err != nil && IsTransient(err) {
+				d.noteRetriesExhausted()
+			}
+			return total, err
+		}
+		if serr := d.backoff(rc, attempt, addr); serr != nil {
+			return total, serr
+		}
+	}
+}
+
+func (d *Device) writeOnce(addr ChunkAddr, data []byte) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.state != StateHealthy {
+	if d.state == StateFailed {
 		return 0, ErrDeviceFailed
+	}
+	var dec FaultDecision
+	if d.hook != nil {
+		dec = d.hook.Decide(FaultWrite, addr)
+	}
+	if dec.FailStop {
+		d.failLocked("injected fail-stop")
+		return 0, ErrDeviceFailed
+	}
+	if dec.Err != nil {
+		d.recordOutcomeLocked(false, dec.LatencyScale, &d.health.transientErrors)
+		return scaleCost(d.spec.WriteLatency, dec.LatencyScale), dec.Err
 	}
 	old, exists := d.data[addr]
 	newUsed := d.used + int64(len(data))
@@ -181,28 +318,135 @@ func (d *Device) Write(addr ChunkAddr, data []byte) (time.Duration, error) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	d.data[addr] = buf
+	d.crcs[addr] = crc32.Checksum(buf, castagnoli)
 	d.used = newUsed
 	d.stats.WriteOps++
 	d.stats.BytesWritten += int64(len(data))
-	return d.spec.WriteLatency + simclock.TransferTime(int64(len(data)), d.spec.WriteBandwidth), nil
+	cost := d.spec.WriteLatency + simclock.TransferTime(int64(len(data)), d.spec.WriteBandwidth)
+	d.recordOutcomeLocked(true, dec.LatencyScale, nil)
+	return scaleCost(cost, dec.LatencyScale), nil
 }
 
-// Read returns a copy of the chunk at addr and the virtual-time cost.
+// Read returns a copy of the chunk at addr and the virtual-time cost. The
+// stored CRC32C is verified; a mismatch (or injected latent sector error)
+// drops the chunk and reports ErrChunkCorrupt, so degraded-read machinery
+// treats it exactly like a missing chunk. Transient faults are retried.
 func (d *Device) Read(addr ChunkAddr) ([]byte, time.Duration, error) {
+	data, _, _, cost, err := d.read(nil, addr, nil)
+	return data, cost, err
+}
+
+// read runs the bounded-retry loop around readOnce. When dst is non-nil the
+// chunk is copied into it (zero-alloc path) and the returned slice is nil;
+// n is the byte count copied out and stored is the full stored chunk length
+// (the transfer the device charged and attributes to the request).
+func (d *Device) read(rc *reqctx.Ctx, addr ChunkAddr, dst []byte) ([]byte, int, int64, time.Duration, error) {
+	var total time.Duration
+	for attempt := 0; ; attempt++ {
+		out, n, stored, cost, err := d.readOnce(addr, dst)
+		total += cost
+		if err == nil || !IsTransient(err) || attempt+1 >= maxIOAttempts {
+			if err != nil && IsTransient(err) {
+				d.noteRetriesExhausted()
+			}
+			return out, n, stored, total, err
+		}
+		if serr := d.backoff(rc, attempt, addr); serr != nil {
+			return nil, 0, 0, total, serr
+		}
+	}
+}
+
+func (d *Device) readOnce(addr ChunkAddr, dst []byte) ([]byte, int, int64, time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.state != StateHealthy {
-		return nil, 0, ErrDeviceFailed
+	if d.state == StateFailed {
+		return nil, 0, 0, 0, ErrDeviceFailed
+	}
+	var dec FaultDecision
+	if d.hook != nil {
+		dec = d.hook.Decide(FaultRead, addr)
+	}
+	if dec.FailStop {
+		d.failLocked("injected fail-stop")
+		return nil, 0, 0, 0, ErrDeviceFailed
+	}
+	if dec.Err != nil {
+		d.recordOutcomeLocked(false, dec.LatencyScale, &d.health.transientErrors)
+		return nil, 0, 0, scaleCost(d.spec.ReadLatency, dec.LatencyScale), dec.Err
+	}
+	if dec.FlipByte > 0 {
+		d.corruptLocked(addr, dec.FlipByte-1, false)
 	}
 	data, ok := d.data[addr]
 	if !ok {
-		return nil, 0, ErrChunkNotFound
+		return nil, 0, 0, 0, ErrChunkNotFound
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
+	if dec.DropChunk {
+		d.dropChunkLocked(addr)
+		d.recordOutcomeLocked(false, dec.LatencyScale, &d.health.latentErrors)
+		return nil, 0, 0, scaleCost(d.spec.ReadLatency, dec.LatencyScale),
+			fmt.Errorf("%w: latent sector error at addr %d", ErrChunkCorrupt, addr)
+	}
+	if crc32.Checksum(data, castagnoli) != d.crcs[addr] {
+		// Integrity failure: discard the chunk so every later Has/Read sees
+		// it as missing and the stripe layer reconstructs + repairs it.
+		d.dropChunkLocked(addr)
+		d.recordOutcomeLocked(false, dec.LatencyScale, &d.health.checksumErrors)
+		return nil, 0, 0, scaleCost(d.spec.ReadLatency, dec.LatencyScale),
+			fmt.Errorf("%w: checksum mismatch at addr %d", ErrChunkCorrupt, addr)
+	}
+	var out []byte
+	n := len(data)
+	if dst != nil {
+		n = copy(dst, data)
+	} else {
+		out = make([]byte, len(data))
+		copy(out, data)
+	}
 	d.stats.ReadOps++
 	d.stats.BytesRead += int64(len(data))
-	return out, d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth), nil
+	cost := d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth)
+	d.recordOutcomeLocked(true, dec.LatencyScale, nil)
+	return out, n, int64(len(data)), scaleCost(cost, dec.LatencyScale), nil
+}
+
+// backoff sleeps before the next retry attempt: exponential with a
+// deterministic ±25% jitter derived from (addr, attempt), capped, and
+// honouring the request's cancellation/deadline. Sleeps are wall-clock only
+// and never charged to the virtual clock.
+func (d *Device) backoff(rc *reqctx.Ctx, attempt int, addr ChunkAddr) error {
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	delay := retryBaseDelay << uint(attempt)
+	if delay > retryMaxDelay {
+		delay = retryMaxDelay
+	}
+	h := mix64(uint64(addr)*0x9E3779B97F4A7C15 + uint64(attempt) + 1)
+	// jitter in [0.75, 1.25)
+	delay = delay*3/4 + time.Duration(h%uint64(delay)/2)
+	time.Sleep(delay)
+	d.mu.Lock()
+	d.health.retries++
+	d.mu.Unlock()
+	return rc.Err()
+}
+
+func (d *Device) noteRetriesExhausted() {
+	d.mu.Lock()
+	d.health.retriesExhausted++
+	d.mu.Unlock()
+}
+
+// mix64 is a splitmix64 finaliser: a cheap, high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // WriteCtx is Write with a cancellation checkpoint: device IO is
@@ -213,7 +457,7 @@ func (d *Device) WriteCtx(rc *reqctx.Ctx, addr ChunkAddr, data []byte) (time.Dur
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
-	cost, err := d.Write(addr, data)
+	cost, err := d.write(rc, addr, data)
 	if err == nil {
 		rc.CountDeviceWrite(int64(len(data)))
 	}
@@ -226,9 +470,9 @@ func (d *Device) ReadCtx(rc *reqctx.Ctx, addr ChunkAddr) ([]byte, time.Duration,
 	if err := rc.Err(); err != nil {
 		return nil, 0, err
 	}
-	data, cost, err := d.Read(addr)
+	data, _, stored, cost, err := d.read(rc, addr, nil)
 	if err == nil {
-		rc.CountDeviceRead(int64(len(data)))
+		rc.CountDeviceRead(stored)
 	}
 	return data, cost, err
 }
@@ -243,20 +487,11 @@ func (d *Device) ReadInto(rc *reqctx.Ctx, addr ChunkAddr, dst []byte) (int, time
 	if err := rc.Err(); err != nil {
 		return 0, 0, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state != StateHealthy {
-		return 0, 0, ErrDeviceFailed
+	_, n, stored, cost, err := d.read(rc, addr, dst)
+	if err == nil {
+		rc.CountDeviceRead(stored)
 	}
-	data, ok := d.data[addr]
-	if !ok {
-		return 0, 0, ErrChunkNotFound
-	}
-	n := copy(dst, data)
-	d.stats.ReadOps++
-	d.stats.BytesRead += int64(len(data))
-	rc.CountDeviceRead(int64(len(data)))
-	return n, d.spec.ReadLatency + simclock.TransferTime(int64(len(data)), d.spec.ReadBandwidth), nil
+	return n, cost, err
 }
 
 // Has reports whether the chunk is present and readable, without charging
@@ -264,7 +499,7 @@ func (d *Device) ReadInto(rc *reqctx.Ctx, addr ChunkAddr, dst []byte) (int, time
 func (d *Device) Has(addr ChunkAddr) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.state != StateHealthy {
+	if d.state == StateFailed {
 		return false
 	}
 	_, ok := d.data[addr]
@@ -276,32 +511,68 @@ func (d *Device) Has(addr ChunkAddr) bool {
 func (d *Device) Delete(addr ChunkAddr) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.state != StateHealthy {
+	if d.state == StateFailed {
 		return ErrDeviceFailed
 	}
+	d.dropChunkLocked(addr)
+	return nil
+}
+
+func (d *Device) dropChunkLocked(addr ChunkAddr) {
 	if old, ok := d.data[addr]; ok {
 		d.used -= int64(len(old))
 		delete(d.data, addr)
+		delete(d.crcs, addr)
 	}
-	return nil
+}
+
+// corruptLocked flips one bit of the stored chunk at the given byte offset.
+// When silent is true the stored CRC is recomputed over the corrupted bytes,
+// modelling corruption the per-chunk checksum cannot see (stale sector
+// returned with a matching checksum): only scrub's cross-chunk redundancy
+// check finds it. When silent is false the CRC is left stale, so the next
+// foreground read detects and drops the chunk.
+func (d *Device) corruptLocked(addr ChunkAddr, offset int, silent bool) bool {
+	data, ok := d.data[addr]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	if silent {
+		if offset < 0 || offset >= len(data) {
+			return false
+		}
+	} else {
+		offset = ((offset % len(data)) + len(data)) % len(data)
+	}
+	data[offset] ^= 0x01
+	if silent {
+		d.crcs[addr] = crc32.Checksum(data, castagnoli)
+	}
+	return true
+}
+
+// InjectCorruption is the single corruption path shared by tests and the
+// fault injector: it flips one bit at offset (see corruptLocked for the
+// silent/detectable distinction) and reports whether anything changed.
+func (d *Device) InjectCorruption(addr ChunkAddr, offset int, silent bool) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == StateFailed {
+		return false
+	}
+	return d.corruptLocked(addr, offset, silent)
 }
 
 // Corrupt flips one bit of the stored chunk at the given byte offset,
 // emulating the silent partial data loss flash wear causes (the paper's §I:
-// "from partial data loss to a complete device failure"). It reports whether
-// anything was corrupted (the chunk exists and the offset is in range).
+// "from partial data loss to a complete device failure"). The stored
+// checksum is recomputed, so the read path cannot see the damage — only
+// scrub's cross-chunk redundancy check can. It reports whether anything was
+// corrupted (the chunk exists and the offset is in range). Corrupt is the
+// silent=true case of InjectCorruption, the corruption path the fault
+// injector shares.
 func (d *Device) Corrupt(addr ChunkAddr, offset int) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state != StateHealthy {
-		return false
-	}
-	data, ok := d.data[addr]
-	if !ok || offset < 0 || offset >= len(data) {
-		return false
-	}
-	data[offset] ^= 0x01
-	return true
+	return d.InjectCorruption(addr, offset, true)
 }
 
 // Fail takes the device offline and discards its contents, emulating an
@@ -309,23 +580,34 @@ func (d *Device) Corrupt(addr ChunkAddr, offset int) bool {
 func (d *Device) Fail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.failLocked("operator fail")
+}
+
+func (d *Device) failLocked(reason string) {
 	if d.state == StateFailed {
 		return
 	}
 	d.state = StateFailed
 	d.data = make(map[ChunkAddr][]byte)
+	d.crcs = make(map[ChunkAddr]uint32)
 	d.used = 0
+	if d.health.failReason == "" {
+		d.health.failReason = reason
+	}
 }
 
 // Replace installs a blank spare in this slot: the device becomes healthy,
-// empty, with fresh counters and an incremented generation.
+// empty, with fresh counters, fresh health history, and an incremented
+// generation.
 func (d *Device) Replace() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.state = StateHealthy
 	d.data = make(map[ChunkAddr][]byte)
+	d.crcs = make(map[ChunkAddr]uint32)
 	d.used = 0
 	d.stats = Stats{}
+	d.health = newHealthState()
 	d.generation++
 }
 
@@ -353,22 +635,24 @@ func (a *Array) N() int { return len(a.devices) }
 // Device returns the device in slot i.
 func (a *Array) Device(i int) *Device { return a.devices[i] }
 
-// Alive returns the indices of healthy devices in slot order.
+// Alive returns the indices of serving (healthy or suspect) devices in slot
+// order. Suspect devices still hold data and serve IO, so they remain
+// placement targets until the health monitor fails them.
 func (a *Array) Alive() []int {
 	out := make([]int, 0, len(a.devices))
 	for i, d := range a.devices {
-		if d.State() == StateHealthy {
+		if d.Serving() {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// AliveCount returns the number of healthy devices without allocating.
+// AliveCount returns the number of serving devices without allocating.
 func (a *Array) AliveCount() int {
 	n := 0
 	for _, d := range a.devices {
-		if d.State() == StateHealthy {
+		if d.Serving() {
 			n++
 		}
 	}
@@ -403,11 +687,11 @@ func (a *Array) TotalCapacity() int64 {
 	return total
 }
 
-// TotalUsed returns bytes stored across healthy devices.
+// TotalUsed returns bytes stored across serving devices.
 func (a *Array) TotalUsed() int64 {
 	var total int64
 	for _, d := range a.devices {
-		if d.State() == StateHealthy {
+		if d.Serving() {
 			total += d.Used()
 		}
 	}

@@ -1,0 +1,133 @@
+package flash
+
+// Per-device health monitoring: a sliding window of IO outcomes and an EWMA
+// of the observed latency-slowdown factor. Both signals drive automatic
+// state transitions healthy → suspect → failed, so fail-slow and
+// error-storming devices are taken out of service without an operator call
+// (the paper's motivation: partial failures long precede clean fail-stop).
+//
+// Thresholds (documented in DESIGN.md §11):
+//   - window of the last 64 ops; ≥ 8 errors → suspect, ≥ 24 errors → failed
+//   - slowdown EWMA (α = 1/8, seeded at 1.0, ≥ 16 samples before it is
+//     trusted); ≥ 2× expected latency → suspect, ≥ 4× → failed
+//
+// Suspect is reversible (the window drains, the EWMA decays back toward 1);
+// failed is terminal until a spare replaces the slot. Declaring a device
+// failed discards its contents, exactly like an operator shootdown, so the
+// existing per-class recovery machinery applies unchanged.
+
+const (
+	healthWindowSize      = 64
+	suspectErrorThreshold = 8
+	failErrorThreshold    = 24
+	slowdownAlpha         = 0.125
+	suspectSlowdown       = 2.0
+	failSlowdown          = 4.0
+	slowdownMinSamples    = 16
+)
+
+// healthState is embedded in Device and guarded by Device.mu.
+type healthState struct {
+	window     [healthWindowSize]bool // true = the op errored
+	windowPos  int
+	windowOps  int // ops recorded, saturating at healthWindowSize
+	windowErrs int
+	samples    int64
+	ewma       float64 // EWMA of actual/expected op cost (1.0 = nominal)
+
+	transientErrors  int64
+	checksumErrors   int64
+	latentErrors     int64
+	retries          int64
+	retriesExhausted int64
+	failReason       string
+}
+
+func newHealthState() healthState {
+	return healthState{ewma: 1.0}
+}
+
+// Health is a point-in-time snapshot of a device's health monitor.
+type Health struct {
+	State        State
+	WindowOps    int
+	WindowErrors int
+	SlowdownEWMA float64
+	// Cumulative fault counters since the device was created or replaced.
+	TransientErrors  int64
+	ChecksumErrors   int64
+	LatentErrors     int64
+	Retries          int64
+	RetriesExhausted int64
+	// FailReason records why the device failed ("" while serving).
+	FailReason string
+}
+
+// Health returns a snapshot of the device's health monitor.
+func (d *Device) Health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := &d.health
+	return Health{
+		State:            d.state,
+		WindowOps:        h.windowOps,
+		WindowErrors:     h.windowErrs,
+		SlowdownEWMA:     h.ewma,
+		TransientErrors:  h.transientErrors,
+		ChecksumErrors:   h.checksumErrors,
+		LatentErrors:     h.latentErrors,
+		Retries:          h.retries,
+		RetriesExhausted: h.retriesExhausted,
+		FailReason:       h.failReason,
+	}
+}
+
+// recordOutcomeLocked feeds one IO outcome into the monitor and applies any
+// state transition. scale is the fail-slow latency multiplier observed for
+// the op (<= 1 means nominal); counter, when non-nil, is the cumulative
+// fault counter to bump for an errored op. Called with d.mu held.
+func (d *Device) recordOutcomeLocked(ok bool, scale float64, counter *int64) {
+	h := &d.health
+	if counter != nil {
+		*counter++
+	}
+	erred := !ok
+	if h.windowOps == healthWindowSize {
+		if h.window[h.windowPos] {
+			h.windowErrs--
+		}
+	} else {
+		h.windowOps++
+	}
+	h.window[h.windowPos] = erred
+	if erred {
+		h.windowErrs++
+	}
+	h.windowPos = (h.windowPos + 1) % healthWindowSize
+	if scale < 1 {
+		scale = 1
+	}
+	h.ewma = h.ewma*(1-slowdownAlpha) + scale*slowdownAlpha
+	h.samples++
+	d.evaluateHealthLocked()
+}
+
+// evaluateHealthLocked applies the threshold state machine. Called with
+// d.mu held; never resurrects a failed device.
+func (d *Device) evaluateHealthLocked() {
+	if d.state == StateFailed {
+		return
+	}
+	h := &d.health
+	slowTrusted := h.samples >= slowdownMinSamples
+	switch {
+	case h.windowErrs >= failErrorThreshold:
+		d.failLocked("health: error rate over threshold")
+	case slowTrusted && h.ewma >= failSlowdown:
+		d.failLocked("health: fail-slow over threshold")
+	case h.windowErrs >= suspectErrorThreshold || (slowTrusted && h.ewma >= suspectSlowdown):
+		d.state = StateSuspect
+	default:
+		d.state = StateHealthy
+	}
+}

@@ -56,6 +56,10 @@ type SystemConfig struct {
 	// ("refresh.pause", "reclass.bg") alongside the per-request latencies
 	// RunConfig.OpStats records.
 	OpStats *metrics.OpHistogram
+	// AutoRecover lets the store start differentiated recovery on its own
+	// whenever it observes new device failures (health-monitor
+	// declarations included) — no InsertSpare/StartRecovery call needed.
+	AutoRecover bool
 }
 
 // System is a fully wired cache server plus its backend and virtual clock.
@@ -92,6 +96,7 @@ func BuildSystem(cfg SystemConfig, tr *workload.Trace) (*System, error) {
 		RecoveryOrder:         cfg.RecoveryOrder,
 		MetadataObjectSize:    cfg.MetadataObjectSize,
 		DisableParityRotation: cfg.DisableParityRotation,
+		AutoRecover:           cfg.AutoRecover,
 	})
 	if err != nil {
 		return nil, err
@@ -209,6 +214,10 @@ type RunConfig struct {
 	// and CancelRate are zero, the replay uses the legacy non-context calls
 	// and is byte-identical to the pre-lifecycle harness.
 	CancelRate float64
+	// OnRequest, when set, runs before each measured request with its
+	// index; the returned cost is charged to the virtual clock. Chaos runs
+	// use it for periodic scrub-repair passes.
+	OnRequest func(i int) (time.Duration, error)
 }
 
 // Phase is one measured segment of a run.
@@ -336,6 +345,13 @@ func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) erro
 				if cfg.OnSpare != nil {
 					cfg.OnSpare()
 				}
+			}
+			if cfg.OnRequest != nil {
+				c, err := cfg.OnRequest(i)
+				if err != nil {
+					return fmt.Errorf("on-request hook at request %d: %w", i, err)
+				}
+				sys.Clock.Advance(c)
 			}
 		}
 

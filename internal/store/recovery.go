@@ -40,6 +40,10 @@ func (s *Store) InsertSpare(i int) (queued int, err error) {
 func (s *Store) StartRecovery() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.startRecoveryLocked()
+}
+
+func (s *Store) startRecoveryLocked() int {
 	s.queue = s.queue[:0]
 	var lost []*object
 	for _, obj := range s.objects {
@@ -56,6 +60,29 @@ func (s *Store) StartRecovery() int {
 	s.sortQueueLocked()
 	s.recovering = len(s.queue) > 0
 	return len(s.queue)
+}
+
+// autoRecoverCheck compares the failed-device count against the last
+// observation and, under Config.AutoRecover, (re)starts recovery when new
+// failures appeared — the health monitor's fail-stop declarations reach the
+// rebuild queue without any operator involvement. Called unlocked at
+// operation boundaries; cheap (a device-state scan) when nothing changed.
+func (s *Store) autoRecoverCheck() {
+	if !s.cfg.AutoRecover {
+		return
+	}
+	failed := s.array.N() - s.array.AliveCount()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case failed > s.seenFailed:
+		s.seenFailed = failed
+		s.autoStarts++
+		s.startRecoveryLocked()
+	case failed < s.seenFailed:
+		// A spare was inserted; track the improved baseline.
+		s.seenFailed = failed
+	}
 }
 
 func (s *Store) sortQueueLocked() {
@@ -201,7 +228,42 @@ func (s *Store) rebuildObjectLocked(rc *reqctx.Ctx, obj *object) (time.Duration,
 			return total, fmt.Errorf("object %v stripe %d: %w", obj.id, sid, stripe.ErrUnrecoverable)
 		}
 	}
+	if s.statusLocked(obj) == StatusDegraded {
+		// Rebuild could not restore full redundancy in place — the missing
+		// chunks' home devices are still failed (no spare inserted). Regain
+		// redundancy on the surviving devices instead: decode the object
+		// and re-encode it onto fresh stripes laid out over the alive set.
+		c, err := s.reencodeObjectLocked(rc, obj)
+		total += c
+		if err != nil {
+			return total, err
+		}
+	}
 	return total, nil
+}
+
+// reencodeObjectLocked rewrites a degraded object onto the currently alive
+// devices with its class's scheme, freeing the old stripes. Failures that
+// merely mean "cannot re-encode right now" (no space, scheme invalid for
+// the shrunken array) leave the object degraded-but-readable and are not
+// errors; cancellation and unrecoverable reads propagate.
+func (s *Store) reencodeObjectLocked(rc *reqctx.Ctx, obj *object) (time.Duration, error) {
+	data, readCost, err := s.stripes.Read(obj.stripes, obj.size)
+	if err != nil {
+		return readCost, fmt.Errorf("object %v: %w", obj.id, err)
+	}
+	scheme := s.cfg.Policy.SchemeFor(obj.class)
+	ids, writeCost, err := s.stripes.WriteCtx(rc, data, scheme)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return readCost, err
+		}
+		return readCost, nil // stays degraded; served via reconstruction
+	}
+	s.stripes.Free(obj.stripes)
+	obj.stripes = ids
+	s.reencoded++
+	return readCost + writeCost, nil
 }
 
 // RecoverAll drives recovery to completion and returns the total IO cost and

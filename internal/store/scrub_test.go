@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"github.com/reo-cache/reo/internal/flash"
@@ -76,6 +78,30 @@ func corruptOneChunk(t *testing.T, s *Store, dev int) stripe.ID {
 	return 0
 }
 
+// corruptObjectStripe silently flips a bit in one chunk of the object's
+// first stripe (CRC recomputed: only scrub's cross-check can see it).
+func corruptObjectStripe(t *testing.T, s *Store, id osd.ObjectID) {
+	t.Helper()
+	s.mu.RLock()
+	obj, ok := s.objects[id]
+	if !ok {
+		s.mu.RUnlock()
+		t.Fatalf("object %v not found", id)
+	}
+	sid := obj.stripes[0]
+	s.mu.RUnlock()
+	for dev := 0; dev < s.Array().N(); dev++ {
+		d := s.Array().Device(dev)
+		if d.Has(flash.ChunkAddr(sid)) {
+			if !d.Corrupt(flash.ChunkAddr(sid), 0) {
+				t.Fatal("corruption failed")
+			}
+			return
+		}
+	}
+	t.Fatalf("no chunk of stripe %d found", sid)
+}
+
 func TestScrubDegradedNotMismatch(t *testing.T) {
 	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
 	populateScrub(t, s)
@@ -89,6 +115,105 @@ func TestScrubDegradedNotMismatch(t *testing.T) {
 	}
 	if len(report.SilentlyCorrupted) != 0 {
 		t.Fatal("missing chunks must not be reported as silent corruption")
+	}
+}
+
+func TestScrubRepairFixesSilentCorruption(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	hot := randBytes(1, 20_000)
+	dirty := randBytes(2, 10_000)
+	if _, err := s.Put(oid(1), hot, osd.ClassHotClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(oid(2), dirty, osd.ClassDirty, true); err != nil {
+		t.Fatal(err)
+	}
+	corruptOneChunk(t, s, 0)
+
+	report, cost, err := s.ScrubRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.SilentlyCorrupted) == 0 {
+		t.Fatal("scrub-repair missed the corruption")
+	}
+	if report.StripesRepaired == 0 {
+		t.Fatalf("nothing repaired: %+v", report)
+	}
+	if len(report.Invalidated) != 0 || len(report.UnrepairableDirty) != 0 {
+		t.Fatalf("locatable corruption should repair in place: %+v", report)
+	}
+	if cost <= 0 {
+		t.Fatal("repair pass should cost IO time")
+	}
+	// The damage is gone: a second scrub is clean and both objects read
+	// back their original bytes.
+	clean, _, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.SilentlyCorrupted) != 0 {
+		t.Fatalf("corruption survived repair: %v", clean.SilentlyCorrupted)
+	}
+	for _, tc := range []struct {
+		id   osd.ObjectID
+		want []byte
+	}{{oid(1), hot}, {oid(2), dirty}} {
+		got, _, _, err := s.Get(tc.id)
+		if err != nil {
+			t.Fatalf("Get %v after repair: %v", tc.id, err)
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Fatalf("object %v corrupted after repair", tc.id)
+		}
+	}
+	if fs := s.FaultStats(); fs.ScrubRepaired == 0 || fs.RepairedChunks == 0 {
+		t.Fatalf("fault stats did not record the repair: %+v", fs)
+	}
+}
+
+func TestScrubRepairInvalidatesUnrepairableClean(t *testing.T) {
+	// Single-parity stripes cannot locate a silent corruption (any one
+	// fragment could be the liar), so the clean owner is invalidated and
+	// the next access refetches from the backend.
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, err := s.Put(oid(1), randBytes(1, 8_000), osd.ClassHotClean, false); err != nil {
+		t.Fatal(err)
+	}
+	corruptObjectStripe(t, s, oid(1))
+
+	report, _, err := s.ScrubRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Invalidated) != 1 || report.Invalidated[0] != oid(1) {
+		t.Fatalf("Invalidated = %v, want [%v]", report.Invalidated, oid(1))
+	}
+	if report.StripesRepaired != 0 {
+		t.Fatalf("1-parity corruption cannot be located, yet StripesRepaired = %d", report.StripesRepaired)
+	}
+	if _, _, _, err := s.Get(oid(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after invalidation = %v, want ErrNotFound", err)
+	}
+}
+
+func TestScrubRepairReportsUnrepairableDirty(t *testing.T) {
+	s := newStore(t, policy.Uniform{ParityChunks: 1}, 0)
+	if _, err := s.Put(oid(1), randBytes(1, 8_000), osd.ClassDirty, true); err != nil {
+		t.Fatal(err)
+	}
+	corruptObjectStripe(t, s, oid(1))
+
+	report, _, err := s.ScrubRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.UnrepairableDirty) != 1 || report.UnrepairableDirty[0] != oid(1) {
+		t.Fatalf("UnrepairableDirty = %v, want [%v]", report.UnrepairableDirty, oid(1))
+	}
+	// Dirty data is the only copy: it must never be deleted.
+	if _, _, _, err := s.Get(oid(1)); err != nil {
+		t.Fatalf("dirty object deleted by scrub-repair: %v", err)
 	}
 }
 

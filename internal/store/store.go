@@ -89,6 +89,12 @@ type Config struct {
 	// proportionally so metadata stays as negligible as it is at full
 	// scale.
 	MetadataObjectSize int
+	// AutoRecover enqueues differentiated recovery automatically whenever
+	// an operation observes that more devices have failed than before
+	// (the health monitor or a fault declared one dead) — no operator
+	// InsertSpare/StartRecovery call needed. The rebuild queue is still
+	// drained by RecoverStep, so callers control when recovery IO runs.
+	AutoRecover bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -141,6 +147,16 @@ type Store struct {
 	// recoveryEnded latches when the rebuild queue drains; the next
 	// query command observes sense 0x66 ("recovery ends") once.
 	recoveryEnded bool
+
+	// seenFailed is the failed-device count the last auto-recovery check
+	// observed; a rise triggers StartRecovery without an operator call.
+	seenFailed int
+	// Degraded-operation counters (guarded by mu).
+	autoStarts        int64
+	reencoded         int64
+	scrubRepaired     int64
+	scrubInvalidated  int64
+	scrubUnrepairable int64
 
 	// onDemand counts in-flight on-demand (foreground) requests. It is
 	// incremented before the request queues on s.mu so background recovery
@@ -264,6 +280,7 @@ func (s *Store) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.C
 	if err := rc.Err(); err != nil {
 		return 0, err
 	}
+	defer s.autoRecoverCheck()
 	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -370,6 +387,7 @@ func (s *Store) hotOverheadLocked(exclude osd.ObjectID) int64 {
 // reconstruction. An irrecoverable object is freed and reported as
 // ErrCorrupted; a missing object as ErrNotFound.
 func (s *Store) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
+	defer s.autoRecoverCheck()
 	s.mu.RLock()
 	obj, ok := s.objects[id]
 	if !ok {
@@ -414,6 +432,7 @@ func (s *Store) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost 
 	if err := rc.Err(); err != nil {
 		return nil, 0, false, err
 	}
+	defer s.autoRecoverCheck()
 	defer s.trackOnDemand(rc)()
 	s.mu.RLock()
 	obj, ok := s.objects[id]
@@ -617,6 +636,39 @@ func (s *Store) statusLocked(obj *object) ObjectStatus {
 		}
 	}
 	return worst
+}
+
+// FaultStats aggregates the store's degraded-operation counters.
+type FaultStats struct {
+	// AutoRecoveries counts recovery passes started by autoRecoverCheck
+	// (no operator call).
+	AutoRecoveries int64
+	// Reencoded counts degraded objects re-encoded onto surviving devices
+	// during recovery.
+	Reencoded int64
+	// ScrubRepaired / ScrubInvalidated / ScrubUnrepairable count
+	// ScrubRepair outcomes (stripes fixed in place, clean objects dropped
+	// for backend refetch, dirty objects left as-is).
+	ScrubRepaired     int64
+	ScrubInvalidated  int64
+	ScrubUnrepairable int64
+	// RepairedChunks counts chunks persisted by the stripe layer's
+	// repair-on-read and scrub repair.
+	RepairedChunks int64
+}
+
+// FaultStats returns a snapshot of the degraded-operation counters.
+func (s *Store) FaultStats() FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return FaultStats{
+		AutoRecoveries:    s.autoStarts,
+		Reencoded:         s.reencoded,
+		ScrubRepaired:     s.scrubRepaired,
+		ScrubInvalidated:  s.scrubInvalidated,
+		ScrubUnrepairable: s.scrubUnrepairable,
+		RepairedChunks:    s.stripes.RepairedChunks(),
+	}
 }
 
 // Has reports whether the object exists (regardless of health).

@@ -147,6 +147,137 @@ func (m *Manager) verifyParity(id ID, meta *stripeMeta) (bool, time.Duration, er
 	return ok, cost, nil
 }
 
+// RepairStripe attempts in-place repair of a stripe Scrub flagged as
+// mismatched (silently corrupted). It reports whether the stripe was
+// repaired and the virtual-time IO cost of the attempt.
+//
+// Replicated stripes repair by majority vote: with a strict majority of
+// identical readable copies, dissenting replicas are rewritten from the
+// winner. Parity stripes with k >= 2 repair by corruption location: for
+// each candidate chunk, reconstruct it from the others and accept the
+// candidate whose substitution makes the whole stripe verify — for a
+// single corrupted chunk this locates it uniquely. With k == 1 (or a tied
+// vote) the corruption is detectable but not locatable, so the stripe is
+// left for the caller to invalidate.
+func (m *Manager) RepairStripe(id ID) (bool, time.Duration, error) {
+	m.mu.RLock()
+	meta, ok := m.stripes[id]
+	m.mu.RUnlock()
+	if !ok {
+		return false, 0, ErrUnknownStripe
+	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
+	if meta.scheme.Kind == policy.KindReplicate {
+		return m.repairReplicated(id, meta)
+	}
+	return m.repairParity(id, meta)
+}
+
+func (m *Manager) repairReplicated(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+	copies := make([][]byte, len(meta.replicaDevs))
+	costs := make([]time.Duration, len(meta.replicaDevs))
+	_ = fanChunks(len(meta.replicaDevs), meta.chunkLen, func(i int) error {
+		data, cost, err := m.array.Device(meta.replicaDevs[i]).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return nil
+		}
+		copies[i] = data
+		costs[i] = cost
+		return nil
+	})
+	total := simclock.Parallel(costs...)
+	readable := 0
+	var winner []byte
+	best := 0
+	for i, c := range copies {
+		if c == nil {
+			continue
+		}
+		readable++
+		votes := 0
+		for _, other := range copies {
+			if other != nil && bytesEqual(c, other) {
+				votes++
+			}
+		}
+		if votes > best {
+			best = votes
+			winner = copies[i]
+		}
+	}
+	if winner == nil || best*2 <= readable {
+		return false, total, nil // no strict majority: cannot arbitrate
+	}
+	writeCosts := make([]time.Duration, len(meta.replicaDevs))
+	repaired := false
+	for i, c := range copies {
+		if c == nil || bytesEqual(c, winner) {
+			continue
+		}
+		cost, err := m.array.Device(meta.replicaDevs[i]).Write(flash.ChunkAddr(id), winner)
+		if err != nil {
+			continue
+		}
+		writeCosts[i] = cost
+		repaired = true
+		m.repairedChunks.Add(1)
+	}
+	return repaired, total + simclock.Parallel(writeCosts...), nil
+}
+
+func (m *Manager) repairParity(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+	k := len(meta.parityDevs)
+	if k < 2 {
+		return false, 0, nil // single corruption not locatable with k < 2
+	}
+	dataChunks := len(meta.dataDevs)
+	allDevs := append(append([]int(nil), meta.dataDevs...), meta.parityDevs...)
+	fragments := make([][]byte, len(allDevs))
+	costs := make([]time.Duration, len(allDevs))
+	_ = fanChunks(len(allDevs), meta.chunkLen, func(i int) error {
+		data, cost, err := m.array.Device(allDevs[i]).Read(flash.ChunkAddr(id))
+		if err != nil {
+			return nil
+		}
+		fragments[i] = data
+		costs[i] = cost
+		return nil
+	})
+	total := simclock.Parallel(costs...)
+	for _, f := range fragments {
+		if f == nil {
+			// Missing chunks make this a degraded stripe; the normal
+			// reconstruction machinery owns that case.
+			return false, total, nil
+		}
+	}
+	codec, err := m.codec(dataChunks, k)
+	if err != nil {
+		return false, total, err
+	}
+	scratch := make([][]byte, len(fragments))
+	for cand := range fragments {
+		copy(scratch, fragments)
+		scratch[cand] = nil
+		if err := codec.Reconstruct(scratch); err != nil {
+			continue
+		}
+		total += simclock.TransferTime(int64(dataChunks*meta.chunkLen), encodeBandwidth)
+		ok, err := codec.Verify(scratch)
+		if err != nil || !ok || bytesEqual(scratch[cand], fragments[cand]) {
+			continue
+		}
+		cost, werr := m.array.Device(allDevs[cand]).Write(flash.ChunkAddr(id), scratch[cand])
+		if werr != nil {
+			return false, total, nil
+		}
+		m.repairedChunks.Add(1)
+		return true, total + cost, nil
+	}
+	return false, total, nil
+}
+
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false

@@ -774,7 +774,7 @@ func (m *Manager) readParity(rc *reqctx.Ctx, id ID, meta *stripeMeta) ([]byte, t
 				return nil
 			}
 			d := m.array.Device(dev)
-			if d.State() != flash.StateHealthy {
+			if !d.Serving() {
 				return nil
 			}
 			if cost, err := d.Write(flash.ChunkAddr(id), fragments[idx]); err == nil {
@@ -815,7 +815,7 @@ func (m *Manager) status(id ID, meta *stripeMeta) Status {
 		have := 0
 		missingAlive := 0
 		for dev := 0; dev < m.array.N(); dev++ {
-			if m.array.Device(dev).State() != flash.StateHealthy {
+			if !m.array.Device(dev).Serving() {
 				continue
 			}
 			if m.chunkPresent(id, dev) {
@@ -984,7 +984,7 @@ func (m *Manager) rebuildParity(id ID, meta *stripeMeta) (time.Duration, Status,
 		idx := missingIdx[i]
 		dev := allDevs[idx]
 		d := m.array.Device(dev)
-		if d.State() != flash.StateHealthy {
+		if !d.Serving() {
 			return nil // home device still failed; chunk stays missing
 		}
 		cost, werr := d.Write(flash.ChunkAddr(id), fragments[idx])

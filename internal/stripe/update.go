@@ -98,7 +98,7 @@ func (m *Manager) updateReplicated(id ID, meta *stripeMeta, local int, data []by
 	err = fanChunks(len(meta.replicaDevs), meta.chunkLen, func(i int) error {
 		dev := meta.replicaDevs[i]
 		d := m.array.Device(dev)
-		if d.State() != flash.StateHealthy {
+		if !d.Serving() {
 			return nil
 		}
 		cost, werr := d.Write(flash.ChunkAddr(id), chunk)
@@ -274,7 +274,7 @@ func (m *Manager) updateDirect(id ID, meta *stripeMeta, codec *erasure.Codec, lo
 			dev, payload = meta.parityDevs[j], parity[j]
 		}
 		d := m.array.Device(dev)
-		if d.State() != flash.StateHealthy {
+		if !d.Serving() {
 			return nil // chunk stays missing; parity covers it
 		}
 		cost, werr := d.Write(flash.ChunkAddr(id), payload)

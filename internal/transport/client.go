@@ -96,6 +96,19 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// Alive reports whether the client can still carry calls: it turns false
+// permanently once the connection reaches a terminal state (Close or
+// connection loss). Pools use it to steer new operations away from dead
+// connections.
+func (c *Client) Alive() bool {
+	select {
+	case <-c.dead:
+		return false
+	default:
+		return true
+	}
+}
+
 // Close closes the connection. Every in-flight call fails promptly with an
 // error wrapping ErrClientClosed.
 func (c *Client) Close() error {

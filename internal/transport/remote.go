@@ -29,11 +29,23 @@ import (
 // lags by a bounded number of requests — the same observability the paper's
 // initiator has through its query commands.
 type RemoteTarget struct {
-	clients []*Client
-	next    atomic.Uint64
-	pol     policy.Policy
+	next atomic.Uint64
+	pol  policy.Policy
+
+	// addr is the dial address when the pool was built by
+	// DialRemoteTargetPool; it enables background redial of dead
+	// connections. Pools over externally supplied clients ("" addr) only
+	// steer away from dead connections.
+	addr      string
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	deadSkips atomic.Int64
+	redials   atomic.Int64
 
 	mu          sync.Mutex
+	clients     []*Client
+	redialing   []bool
 	rawCapacity int64
 	alive       int
 	devices     int
@@ -62,7 +74,12 @@ func NewRemoteTargetPool(clients []*Client) (*RemoteTarget, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: fetch policy: %w", err)
 	}
-	rt := &RemoteTarget{clients: clients, pol: pol}
+	rt := &RemoteTarget{
+		clients:   clients,
+		redialing: make([]bool, len(clients)),
+		pol:       pol,
+		closed:    make(chan struct{}),
+	}
 	if err := rt.refreshStats(); err != nil {
 		return nil, fmt.Errorf("transport: fetch stats: %w", err)
 	}
@@ -86,21 +103,118 @@ func DialRemoteTargetPool(addr string, conns int) (*RemoteTarget, error) {
 		}
 		clients = append(clients, c)
 	}
-	return NewRemoteTargetPool(clients)
-}
-
-// client picks the connection for the next operation.
-func (rt *RemoteTarget) client() *Client {
-	if len(rt.clients) == 1 {
-		return rt.clients[0]
+	rt, err := NewRemoteTargetPool(clients)
+	if err != nil {
+		return nil, err
 	}
-	return rt.clients[rt.next.Add(1)%uint64(len(rt.clients))]
+	rt.addr = addr
+	return rt, nil
 }
 
-// Close closes every pooled connection, failing their in-flight calls.
+// Redial policy for dead pooled connections: bounded exponential backoff
+// with jitter, wall-clock only.
+const (
+	redialBaseDelay = 5 * time.Millisecond
+	redialMaxDelay  = 1 * time.Second
+)
+
+// client picks the connection for the next operation: round-robin over the
+// pool, skipping connections whose reader has died (their calls would fail
+// instantly with ErrConnectionLost). Dead slots kick off a background
+// redial when the pool knows its dial address. Only when every connection
+// is dead does client return one anyway, so the caller surfaces the
+// terminal error instead of blocking.
+func (rt *RemoteTarget) client() *Client {
+	idx := rt.next.Add(1)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := uint64(len(rt.clients))
+	for i := uint64(0); i < n; i++ {
+		slot := int((idx + i) % n)
+		c := rt.clients[slot]
+		if c.Alive() {
+			return c
+		}
+		rt.deadSkips.Add(1)
+		rt.maybeRedialLocked(slot)
+	}
+	return rt.clients[idx%n]
+}
+
+// maybeRedialLocked starts at most one background redial per dead slot.
+func (rt *RemoteTarget) maybeRedialLocked(slot int) {
+	if rt.addr == "" || rt.redialing[slot] {
+		return
+	}
+	select {
+	case <-rt.closed:
+		return
+	default:
+	}
+	rt.redialing[slot] = true
+	go rt.redial(slot)
+}
+
+// redial replaces a dead connection, backing off exponentially (with ±25%
+// jitter) between attempts until the dial succeeds or the pool closes.
+func (rt *RemoteTarget) redial(slot int) {
+	delay := redialBaseDelay
+	for attempt := uint64(0); ; attempt++ {
+		// Deterministic jitter in [0.75, 1.25) of the nominal delay keeps
+		// a burst of redialing slots from thundering in lockstep.
+		h := (uint64(slot)<<32 + attempt + 1) * 0x9E3779B97F4A7C15
+		jittered := delay*3/4 + time.Duration(h%uint64(delay)/2)
+		select {
+		case <-rt.closed:
+			rt.mu.Lock()
+			rt.redialing[slot] = false
+			rt.mu.Unlock()
+			return
+		case <-time.After(jittered):
+		}
+		c, err := Dial(rt.addr)
+		if err != nil {
+			delay *= 2
+			if delay > redialMaxDelay {
+				delay = redialMaxDelay
+			}
+			continue
+		}
+		rt.mu.Lock()
+		select {
+		case <-rt.closed:
+			rt.redialing[slot] = false
+			rt.mu.Unlock()
+			_ = c.Close()
+			return
+		default:
+		}
+		old := rt.clients[slot]
+		rt.clients[slot] = c
+		rt.redialing[slot] = false
+		rt.mu.Unlock()
+		_ = old.Close()
+		rt.redials.Add(1)
+		return
+	}
+}
+
+// DeadSkips reports how many times operation dispatch skipped a dead
+// connection; Redials reports how many dead connections were replaced.
+func (rt *RemoteTarget) DeadSkips() int64 { return rt.deadSkips.Load() }
+
+// Redials reports how many dead pooled connections were re-established.
+func (rt *RemoteTarget) Redials() int64 { return rt.redials.Load() }
+
+// Close closes every pooled connection, failing their in-flight calls, and
+// stops any background redialing.
 func (rt *RemoteTarget) Close() error {
+	rt.closeOnce.Do(func() { close(rt.closed) })
+	rt.mu.Lock()
+	clients := append([]*Client(nil), rt.clients...)
+	rt.mu.Unlock()
 	var first error
-	for _, c := range rt.clients {
+	for _, c := range clients {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}

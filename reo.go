@@ -113,6 +113,7 @@ type config struct {
 	metadataSize     int
 	asyncReclass     bool
 	reclassWorkers   int
+	autoRecover      bool
 }
 
 // Option customises a Cache.
@@ -173,6 +174,15 @@ func WithStripeOrderRecovery() Option {
 	return func(c *config) { c.recoveryOrder = store.RecoverByStripeID }
 }
 
+// WithAutoRecovery makes the store start differentiated recovery by itself
+// when it observes a device failure on the request path — no InsertSpare or
+// operator intervention needed. Draining the rebuild queue still happens via
+// RecoverStep/RecoverAll, so the embedding application controls when rebuild
+// bandwidth is spent.
+func WithAutoRecovery() Option {
+	return func(c *config) { c.autoRecover = true }
+}
+
 // Cache is a Reo cache instance: a flash-array object store, its cache
 // manager, a backend data store, and a virtual clock. All methods are safe
 // for concurrent use.
@@ -216,6 +226,7 @@ func New(opts ...Option) (*Cache, error) {
 		RedundancyBudget:   budget,
 		RecoveryOrder:      cfg.recoveryOrder,
 		MetadataObjectSize: cfg.metadataSize,
+		AutoRecover:        cfg.autoRecover,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +448,28 @@ func (c *Cache) Scrub() (ScrubReport, error) {
 	report, cost, err := c.store.Scrub()
 	c.clock.Advance(cost)
 	return report, err
+}
+
+// ScrubRepairReport summarises a scrub-and-repair pass.
+type ScrubRepairReport = store.ScrubRepairReport
+
+// ScrubRepair runs Scrub and then acts on what it finds: silently corrupted
+// stripes are repaired in place from their redundancy when the corruption
+// can be located, and stripes that cannot be repaired have their clean
+// owners invalidated so the next read refetches pristine bytes from the
+// backend (dirty owners are reported, never dropped). The virtual clock is
+// charged for the pass.
+func (c *Cache) ScrubRepair() (ScrubRepairReport, error) {
+	report, cost, err := c.store.ScrubRepair()
+	c.clock.Advance(cost)
+	return report, err
+}
+
+// DeviceHealth returns the health monitor's snapshot for device slot i:
+// state, windowed error counts, latency slowdown estimate, and retry
+// totals.
+func (c *Cache) DeviceHealth(i int) flash.Health {
+	return c.store.Array().Device(i).Health()
 }
 
 // SpaceEfficiency returns user bytes / total occupied flash bytes (§VI.B).
