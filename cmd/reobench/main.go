@@ -243,6 +243,9 @@ func runRemote(experiment string, opts harness.Options, workers, conns int) erro
 		return err
 	}
 	fmt.Printf("[remote completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	if opts.OpStats != nil {
+		fmt.Printf("-- per-op latency (remote, wall clock) and wire counters --\n%s\n", opts.OpStats)
+	}
 	return nil
 }
 

@@ -34,7 +34,8 @@ var (
 // Buf is a pooled byte buffer. The zero value is invalid; obtain one with
 // Get or Adopt.
 type Buf struct {
-	data []byte // len = requested size, cap = tier size
+	data []byte // current view; aliases slab
+	slab []byte // full allocation (len = requested size, cap = tier size)
 	tier int    // -1 = unpooled (oversize or adopted)
 }
 
@@ -54,14 +55,16 @@ func Get(n int) *Buf {
 	leases.Add(1)
 	t := tierFor(n)
 	if t < 0 {
-		return &Buf{data: make([]byte, n), tier: -1}
+		p := make([]byte, n)
+		return &Buf{data: p, slab: p, tier: -1}
 	}
 	if v := tiers[t].Get(); v != nil {
 		b := v.(*Buf)
-		b.data = b.data[:n]
+		b.data = b.slab[:n]
 		return b
 	}
-	return &Buf{data: make([]byte, n, 1<<(minTierShift+t)), tier: t}
+	p := make([]byte, n, 1<<(minTierShift+t))
+	return &Buf{data: p, slab: p, tier: t}
 }
 
 // Adopt wraps an externally allocated slice in a Buf so it can flow through
@@ -69,7 +72,7 @@ func Get(n int) *Buf {
 // slice for the GC; it never enters a pool.
 func Adopt(p []byte) *Buf {
 	leases.Add(1)
-	return &Buf{data: p, tier: -1}
+	return &Buf{data: p, slab: p, tier: -1}
 }
 
 // Bytes returns the buffer's contents. The slice is only valid until
@@ -79,6 +82,15 @@ func (b *Buf) Bytes() []byte { return b.data }
 // Len returns the buffer's current length.
 func (b *Buf) Len() int { return len(b.data) }
 
+// View narrows the buffer to data[off : off+n] of its current contents.
+// Release still recycles the full underlying slab, so a caller that leased
+// a composite buffer (e.g. a wire frame) can hand out just its interesting
+// region (e.g. the payload) under the normal lease protocol. Offsets are
+// relative to the current view, so View composes.
+func (b *Buf) View(off, n int) {
+	b.data = b.data[off : off+n]
+}
+
 // Release returns the buffer to its pool. Safe to call on nil; calling it
 // twice on the same Buf corrupts the pool — don't.
 func (b *Buf) Release() {
@@ -87,10 +99,10 @@ func (b *Buf) Release() {
 	}
 	leases.Add(-1)
 	if b.tier < 0 {
-		b.data = nil
+		b.data, b.slab = nil, nil
 		return
 	}
-	b.data = b.data[:0]
+	b.data = b.slab[:0]
 	tiers[b.tier].Put(b)
 }
 

@@ -171,6 +171,19 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		return nil, err
 	default:
 	}
+	if opts.OpStats != nil {
+		// Surface the zero-copy/batching wire counters next to the op
+		// latencies so -opstats shows how the transport moved the bytes:
+		// frames per syscall, coalescing rate, and the frame-lease books
+		// (leases != releases at quiesce means a leaked pooled buffer).
+		ws := transport.SnapshotWireStats()
+		opts.OpStats.SetGauge("wire.flushes", float64(ws.Flushes))
+		opts.OpStats.SetGauge("wire.frames", float64(ws.Frames))
+		opts.OpStats.SetGauge("wire.batchedFrames", float64(ws.BatchedFrames))
+		opts.OpStats.SetGauge("wire.bytesPerSyscall", ws.BytesPerFlush())
+		opts.OpStats.SetGauge("bufpool.wireLeases", float64(ws.Leases))
+		opts.OpStats.SetGauge("bufpool.wireReleases", float64(ws.Releases))
+	}
 	return &RemoteResult{
 		Workers:  workers,
 		Conns:    conns,

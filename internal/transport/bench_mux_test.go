@@ -139,12 +139,19 @@ func BenchmarkRemoteThroughput(b *testing.B) {
 			})
 		})
 		b.Run(fmt.Sprintf("mux/%dw", workers), func(b *testing.B) {
+			beforeGap := func() int64 { ws := SnapshotWireStats(); return ws.Leases - ws.Releases }()
 			client := NewClient(benchTargetConn(b, objects, objSize))
 			b.Cleanup(func() { _ = client.Close() })
 			run(b, workers, func(id osd.ObjectID) error {
 				_, _, _, err := client.Get(id)
 				return err
 			})
+			// Every frame lease the wire path took during the run must have
+			// been released (or handed off and released by the caller) once
+			// the run quiesces.
+			if gap := settleWireGap(beforeGap); gap != beforeGap {
+				b.Fatalf("wire lease/release gap grew by %d during the run", gap-beforeGap)
+			}
 		})
 	}
 }

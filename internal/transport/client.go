@@ -1,14 +1,15 @@
 package transport
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
@@ -34,14 +35,46 @@ var (
 )
 
 // call is one in-flight request: the frame to send and the slot its
-// response (or terminal error) is delivered into. done is closed exactly
-// once, by whoever removes the call from the pending map.
+// response (or terminal error) is delivered into. done receives exactly one
+// value, sent by whoever removes the call from the pending map; the
+// buffered channel (instead of a closed one) lets resolved calls be pooled
+// and their channel reused, keeping the steady-state send path
+// allocation-free.
 type call struct {
-	req  Request
-	resp Response
-	err  error
-	done chan struct{}
+	req   Request
+	resp  Response
+	frame *bufpool.Buf // pooled frame backing resp.Payload, if any
+	err   error
+	done  chan struct{}
+	// sent is set by the writer goroutine once it has staged the request
+	// and will never touch the call again; a call may only return to the
+	// pool when both resolved and sent (an unsent call may still be queued
+	// for a writer that died with it).
+	sent atomic.Bool
 }
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan struct{}, 1)} }}
+
+func getCall(req Request) *call {
+	cl := callPool.Get().(*call)
+	cl.req = req
+	return cl
+}
+
+// putCall recycles a resolved call. Callers must have extracted resp/frame/
+// err first and verified cl.sent — see call.sent.
+func putCall(cl *call) {
+	cl.req = Request{}
+	cl.resp = Response{}
+	cl.frame = nil
+	cl.err = nil
+	cl.sent.Store(false)
+	callPool.Put(cl)
+}
+
+// resolve delivers the call's outcome. The caller must own the resolution
+// (have removed the call from the pending map, or never published it).
+func (cl *call) resolve() { cl.done <- struct{}{} }
 
 // Client is the initiator side of the protocol: a fully multiplexed
 // request/response channel to a target. It is safe for concurrent use; many
@@ -133,7 +166,7 @@ func (c *Client) fail(err error) {
 	c.mu.Unlock()
 	for _, cl := range calls {
 		cl.err = err
-		close(cl.done)
+		cl.resolve()
 		<-c.window
 	}
 }
@@ -154,11 +187,18 @@ func connErr(stage string, err error) error {
 	return fmt.Errorf("%w: %s: %v", ErrConnectionLost, stage, err)
 }
 
-// writeLoop drains the send queue through a buffered writer. It flushes
-// only when the queue momentarily empties, so a burst of small PDUs from
-// many callers coalesces into one syscall.
+// writeLoop drains the send queue through a scatter-gather frame writer:
+// headers (and small payloads) stage into a pooled slab, large payloads
+// ride the write vector straight from the caller's buffer, and the batch
+// flushes when the queue momentarily empties or writerFlushBytes have
+// accumulated — so a burst of small PDUs from many callers coalesces into
+// one syscall without unbounded latency for the first of them.
 func (c *Client) writeLoop() {
-	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	w := newFrameWriter(c.conn)
+	dead := func(err error) {
+		c.fail(connErr("send", err))
+		_ = c.conn.Close()
+	}
 	for {
 		var cl *call
 		select {
@@ -167,10 +207,17 @@ func (c *Client) writeLoop() {
 			return
 		}
 		for cl != nil {
-			if err := writeFrame(bw, EncodeRequest(cl.req)); err != nil {
-				c.fail(connErr("send", err))
-				_ = c.conn.Close()
+			err := w.stageRequest(&cl.req)
+			cl.sent.Store(true)
+			if err != nil {
+				dead(err)
 				return
+			}
+			if w.full() {
+				if err := w.flush(); err != nil {
+					dead(err)
+					return
+				}
 			}
 			select {
 			case cl = <-c.sendq:
@@ -178,29 +225,34 @@ func (c *Client) writeLoop() {
 				cl = nil
 			}
 		}
-		if err := bw.Flush(); err != nil {
-			c.fail(connErr("send", err))
-			_ = c.conn.Close()
+		if err := w.flush(); err != nil {
+			dead(err)
 			return
 		}
 	}
 }
 
-// readLoop demultiplexes responses back to callers by RequestID. Responses
-// whose caller already abandoned the call (context cancelled mid-flight)
-// have no pending entry and are dropped; their window slot was released at
-// abandonment, so the demultiplexer never stalls on them.
+// readLoop demultiplexes responses back to callers by RequestID. Frames
+// land in pooled leased buffers and are decoded in place; a response that
+// carries a payload hands its whole frame lease to the caller (the payload
+// aliases it), who releases it through the Result lease protocol — the
+// transport never copies payload bytes. Responses whose caller already
+// abandoned the call (context cancelled mid-flight) have no pending entry
+// and are dropped; their window slot was released at abandonment, so the
+// demultiplexer never stalls on them.
 func (c *Client) readLoop() {
+	var hdr [4]byte
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := readFrameLease(c.conn, &hdr)
 		if err != nil {
 			c.fail(connErr("recv", err))
 			return
 		}
-		resp, err := DecodeResponse(frame)
+		resp, err := decodeResponseInPlace(frame.Bytes())
 		if err != nil {
 			// A frame we cannot decode means the stream is no longer
 			// trustworthy; there is no way to know whose response it was.
+			releaseFrame(frame)
 			c.fail(connErr("recv", err))
 			_ = c.conn.Close()
 			return
@@ -212,10 +264,16 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if cl == nil {
+			releaseFrame(frame)
 			continue
 		}
 		cl.resp = resp
-		close(cl.done)
+		if len(resp.Payload) > 0 {
+			cl.frame = frame
+		} else {
+			releaseFrame(frame)
+		}
+		cl.resolve()
 		<-c.window
 	}
 }
@@ -225,7 +283,11 @@ func (c *Client) readLoop() {
 // one minted here as a safety net. rc, when non-nil, lets the caller
 // abandon the wait: the slot is handed back to the window and the eventual
 // response is dropped by the reader.
-func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, error) {
+//
+// When the response carried a payload, the returned frame is the pooled
+// buffer it aliases; ownership transfers to the caller, who must release
+// it (releaseFrame) once the payload has been consumed or handed off.
+func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, *bufpool.Buf, error) {
 	if req.RequestID == 0 {
 		req.RequestID = reqctx.NextID()
 	}
@@ -242,20 +304,21 @@ func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, error) {
 	select {
 	case c.window <- struct{}{}:
 	case <-c.dead:
-		return Response{}, c.terminalErr()
+		return Response{}, nil, c.terminalErr()
 	case <-cancelled:
-		return Response{}, ctxErr(rc)
+		return Response{}, nil, ctxErr(rc)
 	case <-timerC:
-		return Response{}, ctxErr(rc)
+		return Response{}, nil, ctxErr(rc)
 	}
 
-	cl := &call{req: req, done: make(chan struct{})}
+	cl := getCall(req)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
 		<-c.window
-		return Response{}, err
+		putCall(cl)
+		return Response{}, nil, err
 	}
 	// The wire ID doubles as the trace ID, so distinct concurrent calls
 	// reusing one request context must not collide in the pending map; the
@@ -274,12 +337,12 @@ func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, error) {
 	case <-c.dead:
 		// fail() owns every pending call once the terminal error is set.
 		<-cl.done
-		return cl.resp, cl.err
+		return finishCall(cl)
 	}
 
 	select {
 	case <-cl.done:
-		return cl.resp, cl.err
+		return finishCall(cl)
 	case <-cancelled:
 	case <-timerC:
 	}
@@ -292,11 +355,24 @@ func (c *Client) send(rc *reqctx.Ctx, req Request) (Response, error) {
 		delete(c.pending, cl.req.RequestID)
 		c.mu.Unlock()
 		<-c.window
-		return Response{}, ctxErr(rc)
+		if cl.sent.Load() {
+			putCall(cl)
+		}
+		return Response{}, nil, ctxErr(rc)
 	}
 	c.mu.Unlock()
 	<-cl.done
-	return cl.resp, cl.err
+	return finishCall(cl)
+}
+
+// finishCall extracts a resolved call's outcome and recycles the call when
+// the writer is provably done with it (see call.sent).
+func finishCall(cl *call) (Response, *bufpool.Buf, error) {
+	resp, frame, err := cl.resp, cl.frame, cl.err
+	if cl.sent.Load() {
+		putCall(cl)
+	}
+	return resp, frame, err
 }
 
 // ctxErr names why an abandoning caller stopped waiting.
@@ -308,13 +384,24 @@ func ctxErr(rc *reqctx.Ctx) error {
 }
 
 // roundTrip stamps the lifecycle fields and sends one request through the
-// multiplexer.
+// multiplexer. Any payload frame is released before returning (resp.Payload
+// must not be used); ops that consume a payload go through roundTripFrame.
 func (c *Client) roundTrip(rc *reqctx.Ctx, req Request) (Response, error) {
-	resp, err := c.send(rc, withLifecycle(rc, req))
+	resp, frame, err := c.roundTripFrame(rc, req)
+	releaseFrame(frame)
+	resp.Payload = nil
+	return resp, err
+}
+
+// roundTripFrame is roundTrip for ops whose response carries a payload: the
+// returned frame (nil when there is no payload) is the pooled lease the
+// payload aliases, owned by the caller.
+func (c *Client) roundTripFrame(rc *reqctx.Ctx, req Request) (Response, *bufpool.Buf, error) {
+	resp, frame, err := c.send(rc, withLifecycle(rc, req))
 	if err != nil {
-		return Response{}, fmt.Errorf("transport: %v: %w", req.Op, err)
+		return Response{}, nil, fmt.Errorf("transport: %v: %w", req.Op, err)
 	}
-	return resp, nil
+	return resp, frame, nil
 }
 
 // senseError converts a non-OK sense code back into the store's error
@@ -376,24 +463,52 @@ func (c *Client) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.
 	return resp.Cost, senseError(resp)
 }
 
-// Get reads an object.
+// Get reads an object into a fresh GC-owned slice.
 func (c *Client) Get(id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
 	return c.GetCtx(nil, id)
 }
 
-// GetCtx is Get carrying the request's ID and deadline on the wire.
+// GetCtx is Get carrying the request's ID and deadline on the wire. Callers
+// on the hot path should prefer GetLeasedCtx, which avoids the payload copy.
 func (c *Client) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (data []byte, cost time.Duration, degraded bool, err error) {
+	buf, cost, degraded, err := c.GetLeasedCtx(rc, id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	data = make([]byte, buf.Len())
+	copy(data, buf.Bytes())
+	buf.Release()
+	return data, cost, degraded, nil
+}
+
+// GetLeasedCtx reads an object into a pooled leased buffer delivered
+// straight off the wire: the buffer is the response frame itself, narrowed
+// to the payload, so the read path never copies payload bytes. The caller
+// owns the lease and must Release it (directly or through the cache's
+// Result lease protocol) when done with the bytes.
+func (c *Client) GetLeasedCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost time.Duration, degraded bool, err error) {
 	if err := rc.Err(); err != nil {
 		return nil, 0, false, err
 	}
-	resp, err := c.roundTrip(rc, Request{Op: OpGet, Object: id})
+	resp, frame, err := c.roundTripFrame(rc, Request{Op: OpGet, Object: id})
 	if err != nil {
 		return nil, 0, false, err
 	}
 	if err := senseError(resp); err != nil {
+		releaseFrame(frame)
 		return nil, 0, false, err
 	}
-	return resp.Payload, resp.Cost, resp.Degraded, nil
+	if frame == nil {
+		// Zero-length object: hand back an (empty) lease all the same so
+		// the caller's release discipline is uniform.
+		return bufpool.Get(0), resp.Cost, resp.Degraded, nil
+	}
+	// Narrow the frame lease to the payload and hand it off; from the
+	// wire's perspective the frame is released (the caller now owns it
+	// under the ordinary bufpool lease protocol).
+	frame.View(frame.Len()-len(resp.Payload), len(resp.Payload))
+	wireReleases.Add(1)
+	return frame, resp.Cost, resp.Degraded, nil
 }
 
 // Delete removes an object.

@@ -97,7 +97,7 @@ func TestServerRejectsExpiredDeadline(t *testing.T) {
 
 	// send bypasses the client-side rc.Err() fast path so the wire-level
 	// deadline enforcement is what gets exercised.
-	resp, err := client.send(nil, Request{
+	resp, frame, err := client.send(nil, Request{
 		Op:        OpGet,
 		Object:    oid(1),
 		RequestID: 7,
@@ -106,6 +106,7 @@ func TestServerRejectsExpiredDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	releaseFrame(frame)
 	if resp.Sense != osd.SenseDeadline {
 		t.Fatalf("sense = %v, want SenseDeadline", resp.Sense)
 	}

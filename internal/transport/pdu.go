@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/osd"
 )
 
@@ -160,7 +161,9 @@ func writeFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// readFrame reads a length-prefixed frame.
+// readFrame reads a length-prefixed frame into a fresh GC-owned slice. The
+// multiplexed client and server use readFrameLease instead; this remains for
+// tests and simple lock-step consumers.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -177,26 +180,74 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
-// EncodeRequest renders a request PDU body.
+// readFrameLease reads a length-prefixed frame into a pooled buffer leased
+// from bufpool. The caller owns the lease and must release it (directly or
+// by handing it to whoever consumes the in-place-decoded payload). hdr is
+// caller-provided scratch so the steady-state read path performs no
+// allocations at all.
+func readFrameLease(r io.Reader, hdr *[4]byte) (*bufpool.Buf, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxPDUSize {
+		return nil, ErrFrameTooLarge
+	}
+	buf := bufpool.Get(int(n))
+	wireLeases.Add(1)
+	if _, err := io.ReadFull(r, buf.Bytes()); err != nil {
+		releaseFrame(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// releaseFrame returns a wire frame lease (possibly nil) to the pool,
+// keeping the wire lease/release books balanced.
+func releaseFrame(b *bufpool.Buf) {
+	if b == nil {
+		return
+	}
+	wireReleases.Add(1)
+	b.Release()
+}
+
+// reqHeaderSize is the fixed request header: op, object ID, class, dirty,
+// index, offset, request ID, deadline, payload length.
+const reqHeaderSize = 1 + 8 + 8 + 1 + 1 + 4 + 8 + 8 + 8 + 4
+
+// appendRequestHeader appends the request's wire header — everything except
+// the payload bytes, whose length it records — to dst and returns the
+// extended slice. The wire layout is identical to EncodeRequest's; the
+// header codec exists so writers can scatter-gather the payload from the
+// caller's buffer instead of copying it into a frame.
+func appendRequestHeader(dst []byte, req *Request) []byte {
+	dst = append(dst, byte(req.Op))
+	dst = binary.BigEndian.AppendUint64(dst, req.Object.PID)
+	dst = binary.BigEndian.AppendUint64(dst, req.Object.OID)
+	dst = append(dst, byte(req.Class))
+	dst = append(dst, boolByte(req.Dirty))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(req.Index))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(req.Offset))
+	dst = binary.BigEndian.AppendUint64(dst, req.RequestID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(req.Deadline))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(req.Payload)))
+	return dst
+}
+
+// EncodeRequest renders a complete request PDU body (header + payload).
 func EncodeRequest(req Request) []byte {
-	buf := make([]byte, 0, 52+len(req.Payload))
-	buf = append(buf, byte(req.Op))
-	buf = binary.BigEndian.AppendUint64(buf, req.Object.PID)
-	buf = binary.BigEndian.AppendUint64(buf, req.Object.OID)
-	buf = append(buf, byte(req.Class))
-	buf = append(buf, boolByte(req.Dirty))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Index))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Offset))
-	buf = binary.BigEndian.AppendUint64(buf, req.RequestID)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Deadline))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Payload)))
+	buf := make([]byte, 0, reqHeaderSize+len(req.Payload))
+	buf = appendRequestHeader(buf, &req)
 	buf = append(buf, req.Payload...)
 	return buf
 }
 
-// DecodeRequest parses a request PDU body.
-func DecodeRequest(body []byte) (Request, error) {
-	const fixed = 1 + 8 + 8 + 1 + 1 + 4 + 8 + 8 + 8 + 4
+// decodeRequestInPlace parses a request PDU body without moving the
+// payload: req.Payload aliases body. The caller must keep body alive (and
+// unrecycled) until the request is fully consumed.
+func decodeRequestInPlace(body []byte) (Request, error) {
+	const fixed = reqHeaderSize
 	if len(body) < fixed {
 		return Request{}, ErrShortFrame
 	}
@@ -218,44 +269,78 @@ func DecodeRequest(body []byte) (Request, error) {
 		Deadline:  int64(binary.BigEndian.Uint64(body[39:47])),
 	}
 	payloadLen := binary.BigEndian.Uint32(body[47:51])
-	if int(payloadLen) != len(body)-fixed {
+	if int64(payloadLen) != int64(len(body)-fixed) {
 		return Request{}, fmt.Errorf("%w: payload length %d, frame remainder %d",
 			ErrShortFrame, payloadLen, len(body)-fixed)
 	}
 	if payloadLen > 0 {
-		req.Payload = make([]byte, payloadLen)
-		copy(req.Payload, body[fixed:])
+		req.Payload = body[fixed : fixed+int(payloadLen) : fixed+int(payloadLen)]
 	}
 	return req, nil
 }
 
-// EncodeResponse renders a response PDU body.
+// DecodeRequest parses a request PDU body into independent storage (the
+// payload is copied out of body).
+func DecodeRequest(body []byte) (Request, error) {
+	req, err := decodeRequestInPlace(body)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(req.Payload) > 0 {
+		p := make([]byte, len(req.Payload))
+		copy(p, req.Payload)
+		req.Payload = p
+	}
+	return req, nil
+}
+
+// respFixedSize is the fixed response trailer after the variable-length
+// message: degraded, done, status, value, cost, stats, payload length.
+const respFixedSize = 1 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1 + 4 + 4
+
+// respHeaderSize returns the response's wire header size (everything except
+// the payload bytes).
+func respHeaderSize(resp *Response) int {
+	return 8 + 4 + 2 + len(resp.Message) + respFixedSize
+}
+
+// appendResponseHeader appends the response's wire header — everything
+// except the payload bytes, whose length it records — to dst and returns
+// the extended slice. Layout identical to EncodeResponse's.
+func appendResponseHeader(dst []byte, resp *Response) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, resp.RequestID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(resp.Sense)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(resp.Message)))
+	dst = append(dst, resp.Message...)
+	dst = append(dst, boolByte(resp.Degraded), boolByte(resp.Done))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(resp.Status))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Value))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Cost))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Stats.Objects))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Stats.UsedBytes))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Stats.RawCapacity))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(resp.Stats.SpaceEfficiency))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(resp.Stats.AliveDevices))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(resp.Stats.TotalDevices))
+	dst = append(dst, boolByte(resp.Stats.RecoveryActive))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(resp.Stats.RecoveryQueue))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Payload)))
+	return dst
+}
+
+// EncodeResponse renders a complete response PDU body (header + payload).
 func EncodeResponse(resp Response) []byte {
-	msg := []byte(resp.Message)
-	buf := make([]byte, 0, 88+len(msg)+len(resp.Payload))
-	buf = binary.BigEndian.AppendUint64(buf, resp.RequestID)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(resp.Sense)))
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
-	buf = append(buf, msg...)
-	buf = append(buf, boolByte(resp.Degraded), boolByte(resp.Done))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Status))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Value))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Cost))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.Objects))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.UsedBytes))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Stats.RawCapacity))
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(resp.Stats.SpaceEfficiency))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.AliveDevices))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.TotalDevices))
-	buf = append(buf, boolByte(resp.Stats.RecoveryActive))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(resp.Stats.RecoveryQueue))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Payload)))
+	buf := make([]byte, 0, respHeaderSize(&resp)+len(resp.Payload))
+	buf = appendResponseHeader(buf, &resp)
 	buf = append(buf, resp.Payload...)
 	return buf
 }
 
-// DecodeResponse parses a response PDU body.
-func DecodeResponse(body []byte) (Response, error) {
+// decodeResponseInPlace parses a response PDU body without moving the
+// payload: resp.Payload aliases body (the message, a rare error-path field,
+// is still copied into a string). The caller must keep body alive until the
+// payload is consumed.
+func decodeResponseInPlace(body []byte) (Response, error) {
 	if len(body) < 14 {
 		return Response{}, ErrShortFrame
 	}
@@ -268,10 +353,11 @@ func DecodeResponse(body []byte) (Response, error) {
 	if len(rest) < msgLen {
 		return Response{}, ErrShortFrame
 	}
-	resp.Message = string(rest[:msgLen])
+	if msgLen > 0 {
+		resp.Message = string(rest[:msgLen])
+	}
 	rest = rest[msgLen:]
-	const fixed = 1 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1 + 4 + 4
-	if len(rest) < fixed {
+	if len(rest) < respFixedSize {
 		return Response{}, ErrShortFrame
 	}
 	resp.Degraded = rest[0] != 0
@@ -289,13 +375,27 @@ func DecodeResponse(body []byte) (Response, error) {
 	resp.Stats.RecoveryQueue = int32(binary.BigEndian.Uint32(rest[63:67]))
 	payloadLen := binary.BigEndian.Uint32(rest[67:71])
 	rest = rest[71:]
-	if int(payloadLen) != len(rest) {
+	if int64(payloadLen) != int64(len(rest)) {
 		return Response{}, fmt.Errorf("%w: payload length %d, remainder %d",
 			ErrShortFrame, payloadLen, len(rest))
 	}
 	if payloadLen > 0 {
-		resp.Payload = make([]byte, payloadLen)
-		copy(resp.Payload, rest)
+		resp.Payload = rest[: payloadLen : payloadLen]
+	}
+	return resp, nil
+}
+
+// DecodeResponse parses a response PDU body into independent storage (the
+// payload is copied out of body).
+func DecodeResponse(body []byte) (Response, error) {
+	resp, err := decodeResponseInPlace(body)
+	if err != nil {
+		return Response{}, err
+	}
+	if len(resp.Payload) > 0 {
+		p := make([]byte, len(resp.Payload))
+		copy(p, resp.Payload)
+		resp.Payload = p
 	}
 	return resp, nil
 }

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+// FuzzDecodeRequest throws arbitrary byte strings at the in-place request
+// decoder. The decoder must never panic or over-read, any accepted frame
+// must re-encode to a canonical form that is a fixpoint (decode∘encode is
+// idempotent), and the in-place payload must alias the input frame rather
+// than fresh storage. Run with: go test -fuzz=FuzzDecodeRequest ./internal/transport
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Op: OpGet, Object: osd.ObjectID{PID: 1, OID: 2}}))
+	f.Add(EncodeRequest(Request{
+		Op: OpPut, Object: osd.ObjectID{PID: 3, OID: 4}, Class: osd.ClassColdClean,
+		Dirty: true, Payload: []byte("hello wire"), RequestID: 77, Deadline: 1234567,
+	}))
+	f.Add(EncodeRequest(Request{Op: OpWriteRange, Offset: 4096, Payload: make([]byte, 64)}))
+	f.Add([]byte{})                                  // empty frame
+	f.Add([]byte{byte(OpGet)})                       // truncated header
+	f.Add(bytes.Repeat([]byte{0xff}, reqHeaderSize)) // bad op, huge payload length
+	short := EncodeRequest(Request{Op: OpPut, Payload: make([]byte, 32)})
+	f.Add(short[:len(short)-5]) // payload length field lies about the remainder
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeRequestInPlace(body)
+		if err != nil {
+			return
+		}
+		// The in-place payload must alias the frame, not fresh storage.
+		if len(req.Payload) > 0 {
+			if len(body) != reqHeaderSize+len(req.Payload) {
+				t.Fatalf("accepted frame of %d bytes but decoded %d payload bytes", len(body), len(req.Payload))
+			}
+			if &req.Payload[0] != &body[reqHeaderSize] {
+				t.Fatal("in-place payload does not alias the frame buffer")
+			}
+		}
+		// The copying decoder must agree with the in-place one.
+		copied, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("DecodeRequest rejected a frame decodeRequestInPlace accepted: %v", err)
+		}
+		if !bytes.Equal(copied.Payload, req.Payload) {
+			t.Fatal("copying and in-place decoders disagree on payload bytes")
+		}
+		// Canonical re-encoding must be a fixpoint: encode(decode(x)) decodes
+		// back and re-encodes byte-identically. (The raw input may use
+		// non-canonical bool bytes, so it is not itself compared.)
+		enc1 := EncodeRequest(req)
+		req2, err := DecodeRequest(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if enc2 := EncodeRequest(req2); !bytes.Equal(enc1, enc2) {
+			t.Fatal("encode∘decode is not idempotent for request")
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side mirror of FuzzDecodeRequest: no
+// panics, no over-reads, payload aliases the frame, and canonical
+// re-encoding is a fixpoint (this also exercises the variable-length
+// message field and the stats trailer, including non-finite floats).
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(Response{RequestID: 9, Sense: osd.SenseOK}))
+	f.Add(EncodeResponse(Response{
+		RequestID: 10, Sense: osd.SenseNotFound, Message: "object not found",
+		Cost: 3 * time.Millisecond,
+	}))
+	f.Add(EncodeResponse(Response{
+		RequestID: 11, Degraded: true, Payload: bytes.Repeat([]byte{0xab}, 128),
+		Stats: StatsBody{Objects: 5, SpaceEfficiency: 0.75, AliveDevices: 4, TotalDevices: 5},
+	}))
+	f.Add([]byte{})
+	f.Add(make([]byte, 13)) // one short of the fixed prefix
+	hdr := EncodeResponse(Response{Message: "xx"})
+	f.Add(hdr[:len(hdr)-3]) // truncated trailer
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := decodeResponseInPlace(body)
+		if err != nil {
+			return
+		}
+		if len(resp.Payload) > 0 {
+			off := len(body) - len(resp.Payload)
+			if off < 0 || &resp.Payload[0] != &body[off] {
+				t.Fatal("in-place payload does not alias the frame buffer")
+			}
+		}
+		copied, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("DecodeResponse rejected a frame decodeResponseInPlace accepted: %v", err)
+		}
+		if !bytes.Equal(copied.Payload, resp.Payload) {
+			t.Fatal("copying and in-place decoders disagree on payload bytes")
+		}
+		enc1 := EncodeResponse(resp)
+		resp2, err := DecodeResponse(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if enc2 := EncodeResponse(resp2); !bytes.Equal(enc1, enc2) {
+			t.Fatal("encode∘decode is not idempotent for response")
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations that would break
+// alloc-bound assertions.
+const raceEnabled = true

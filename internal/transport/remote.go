@@ -255,16 +255,13 @@ func (rt *RemoteTarget) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, cla
 	return rt.client().PutCtx(rc, id, data, class, dirty)
 }
 
-// GetCtx implements cache.Target. The wire payload is freshly allocated by
-// the frame decoder, so it is adopted into an unpooled lease — Release is a
-// no-op beyond breaking the reference, and the GC reclaims it.
+// GetCtx implements cache.Target. The returned lease is the response frame
+// itself, narrowed to the payload by the client's reader goroutine — no
+// payload copy happens anywhere between the target's flash array and the
+// caller, who releases the frame through the usual Result lease protocol.
 func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, time.Duration, bool, error) {
 	rt.tick()
-	data, cost, degraded, err := rt.client().GetCtx(rc, id)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	return bufpool.Adopt(data), cost, degraded, nil
+	return rt.client().GetLeasedCtx(rc, id)
 }
 
 // Delete implements cache.Target.

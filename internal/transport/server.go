@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -10,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
@@ -145,6 +145,22 @@ func (s *Server) HandleConn(conn net.Conn) {
 	s.handleConn(conn)
 }
 
+// connRequest is one decoded request plus the pooled frame its payload
+// aliases; the worker releases the frame once the store has consumed the
+// payload.
+type connRequest struct {
+	req   Request
+	frame *bufpool.Buf
+}
+
+// connResponse is one completed response plus the pooled lease (store
+// buffer or nil) backing its payload; the response writer releases the
+// lease once the payload bytes have been flushed to the wire.
+type connResponse struct {
+	resp  Response
+	lease *bufpool.Buf
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -157,75 +173,100 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Completed responses funnel through one writer goroutine; its buffer
 	// depth matches the worker pool so a finished worker never blocks for
 	// long behind a slow wire.
-	out := make(chan Response, s.workers)
+	out := make(chan connResponse, s.workers)
 	writerDone := make(chan struct{})
 	go connWriter(conn, out, writerDone)
 
-	sem := make(chan struct{}, s.workers)
+	// A fixed pool of dispatch workers (rather than a goroutine per
+	// request) keeps the steady-state request path allocation-free; the
+	// unbuffered channel gives the same backpressure the old semaphore did.
+	in := make(chan connRequest)
 	var inflight sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			for cr := range in {
+				if s.opDelay != nil {
+					s.opDelay(cr.req)
+				}
+				resp, lease := s.dispatch(cr.req)
+				resp.RequestID = cr.req.RequestID
+				// The store consumed the request payload synchronously;
+				// the frame can go back to the pool before the response
+				// is even queued.
+				releaseFrame(cr.frame)
+				out <- connResponse{resp: resp, lease: lease}
+			}
+		}()
+	}
+
+	var hdr [4]byte
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrameLease(conn, &hdr)
 		if err != nil {
 			break
 		}
-		req, err := DecodeRequest(frame)
+		req, err := decodeRequestInPlace(frame.Bytes())
 		if err != nil {
 			// The frame length-prefix keeps the stream in sync even when a
 			// body is garbage; answer the failure inline (RequestID unknown,
 			// so it stays 0) and keep serving.
-			out <- Response{Sense: osd.SenseFailure, Message: err.Error()}
+			releaseFrame(frame)
+			out <- connResponse{resp: Response{Sense: osd.SenseFailure, Message: err.Error()}}
 			continue
 		}
-		sem <- struct{}{}
-		inflight.Add(1)
-		go func(req Request) {
-			defer inflight.Done()
-			defer func() { <-sem }()
-			if s.opDelay != nil {
-				s.opDelay(req)
-			}
-			resp := s.dispatch(req)
-			resp.RequestID = req.RequestID
-			out <- resp
-		}(req)
+		in <- connRequest{req: req, frame: frame}
 	}
 	// Connection is gone (or closing): let in-flight operations finish,
 	// then retire the writer. The writer keeps draining even after a write
 	// error, so workers can never wedge on the out channel.
+	close(in)
 	inflight.Wait()
 	close(out)
 	<-writerDone
 }
 
-// connWriter serialises responses onto the connection through a buffered
-// writer, flushing only when the queue momentarily empties so bursts of
+// connWriter serialises responses onto the connection through a
+// scatter-gather frame writer: headers and small payloads stage into a
+// slab, large payloads are written straight from the store's leased buffer
+// (released once the flush lands), and the batch flushes when the queue
+// momentarily empties or writerFlushBytes accumulate — so bursts of
 // completions coalesce into few syscalls. After a write error it closes the
 // connection and keeps consuming (discarding) responses until the channel
 // closes, so dispatch workers never block.
-func connWriter(conn net.Conn, out <-chan Response, done chan<- struct{}) {
+func connWriter(conn net.Conn, out <-chan connResponse, done chan<- struct{}) {
 	defer close(done)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	w := newFrameWriter(conn)
 	broken := false
-	write := func(resp Response) {
+	write := func(cr connResponse) {
 		if broken {
+			releaseFrame(cr.lease)
 			return
 		}
-		if err := writeFrame(bw, EncodeResponse(resp)); err != nil {
+		if err := w.stageResponse(&cr.resp, cr.lease); err != nil {
 			broken = true
 			_ = conn.Close()
+			return
+		}
+		if w.full() {
+			if err := w.flush(); err != nil {
+				broken = true
+				_ = conn.Close()
+			}
 		}
 	}
 	flush := func() {
 		if broken {
 			return
 		}
-		if err := bw.Flush(); err != nil {
+		if err := w.flush(); err != nil {
 			broken = true
 			_ = conn.Close()
 		}
 	}
-	for resp := range out {
-		write(resp)
+	for cr := range out {
+		write(cr)
 	coalesce:
 		for {
 			select {
@@ -246,90 +287,101 @@ func connWriter(conn net.Conn, out <-chan Response, done chan<- struct{}) {
 // requestCtx rebuilds the per-request context from the wire fields. A
 // request with neither an ID nor a deadline travels as a nil context, which
 // keeps legacy initiators byte-identical to the pre-lifecycle protocol. The
-// returned release func must run once the operation is fully complete;
-// expired reports that the deadline passed before dispatch (the caller must
-// answer SenseDeadline without touching the store).
-func requestCtx(req Request) (rc *reqctx.Ctx, release func(), expired bool) {
+// caller must run finishRequestCtx(rc, cancel) once the operation is fully
+// complete (both returns may be nil — kept as plain values rather than a
+// closure so the steady-state dispatch path does not allocate); expired
+// reports that the deadline passed before dispatch (the caller must answer
+// SenseDeadline without touching the store).
+func requestCtx(req Request) (rc *reqctx.Ctx, cancel context.CancelFunc, expired bool) {
 	if req.RequestID == 0 && req.Deadline == 0 {
-		return nil, func() {}, false
+		return nil, nil, false
 	}
 	if req.Deadline == 0 {
-		rc = reqctx.Acquire(context.Background()).WithID(req.RequestID)
-		return rc, func() { reqctx.Release(rc) }, false
+		return reqctx.Acquire(context.Background()).WithID(req.RequestID), nil, false
 	}
 	dl := time.Unix(0, req.Deadline)
 	if !time.Now().Before(dl) {
-		return nil, func() {}, true
+		return nil, nil, true
 	}
 	// context.WithDeadline gives the request a real Done channel, so waits
 	// deep in the store (fill latches, fan-out joins) abort when the
 	// deadline fires mid-operation, not just at the next checkpoint.
 	ctx, cancel := context.WithDeadline(context.Background(), dl)
-	rc = reqctx.Acquire(ctx).WithID(req.RequestID)
-	return rc, func() {
-		reqctx.Release(rc)
-		cancel()
-	}, false
+	return reqctx.Acquire(ctx).WithID(req.RequestID), cancel, false
 }
 
-func (s *Server) dispatch(req Request) Response {
-	rc, release, expired := requestCtx(req)
-	if expired {
-		return Response{Sense: osd.SenseDeadline, Message: context.DeadlineExceeded.Error()}
+// finishRequestCtx retires a requestCtx-built context once its operation
+// has fully completed.
+func finishRequestCtx(rc *reqctx.Ctx, cancel context.CancelFunc) {
+	reqctx.Release(rc)
+	if cancel != nil {
+		cancel()
 	}
-	defer release()
+}
+
+// dispatch runs one request against the store. The second return is the
+// pooled lease backing resp.Payload (OpGet only): the store's buffer is
+// handed to the response writer as-is — the wire path never copies payload
+// bytes — and the writer releases it once the bytes are flushed.
+func (s *Server) dispatch(req Request) (Response, *bufpool.Buf) {
+	rc, cancel, expired := requestCtx(req)
+	if expired {
+		return Response{Sense: osd.SenseDeadline, Message: context.DeadlineExceeded.Error()}, nil
+	}
+	defer finishRequestCtx(rc, cancel)
 	switch req.Op {
 	case OpPut:
 		cost, err := s.st.PutCtx(rc, req.Object, req.Payload, req.Class, req.Dirty)
-		return senseResponse(err, Response{Cost: cost})
+		return senseResponse(err, Response{Cost: cost}), nil
 	case OpGet:
 		buf, cost, degraded, err := s.st.GetCtx(rc, req.Object)
 		resp := Response{Degraded: degraded, Cost: cost}
 		if err == nil {
-			// The payload outlives dispatch (it is encoded into the response
-			// frame by the caller), so copy it out of the pooled lease.
-			resp.Payload = make([]byte, buf.Len())
-			copy(resp.Payload, buf.Bytes())
-			buf.Release()
+			// Zero-copy hand-off: the response payload aliases the store's
+			// leased buffer, which now counts as wire-owned until the
+			// writer flushes and releases it.
+			resp.Payload = buf.Bytes()
+			wireLeases.Add(1)
+			return senseResponse(err, resp), buf
 		}
-		return senseResponse(err, resp)
+		return senseResponse(err, resp), nil
 	case OpDelete:
-		return senseResponse(s.st.Delete(req.Object), Response{})
+		return senseResponse(s.st.Delete(req.Object), Response{}), nil
 	case OpControl:
 		sense, err := s.st.Control(req.Payload)
 		resp := Response{Sense: sense}
 		if err != nil {
 			resp.Message = err.Error()
 		}
-		return resp
+		return resp, nil
 	case OpStatus:
-		return Response{Sense: osd.SenseOK, Status: int32(s.st.Status(req.Object))}
+		return Response{Sense: osd.SenseOK, Status: int32(s.st.Status(req.Object))}, nil
 	case OpStats:
-		return Response{Sense: osd.SenseOK, Stats: s.statsBody()}
+		return Response{Sense: osd.SenseOK, Stats: s.statsBody()}, nil
 	case OpFailDevice:
-		return senseResponse(s.st.FailDevice(int(req.Index)), Response{})
+		return senseResponse(s.st.FailDevice(int(req.Index)), Response{}), nil
 	case OpInsertSpare:
 		queued, err := s.st.InsertSpare(int(req.Index))
-		return senseResponse(err, Response{Value: int64(queued)})
+		return senseResponse(err, Response{Value: int64(queued)}), nil
 	case OpRecoverStep:
 		// Recovery stepped over the wire is background work: give it the
 		// request's cancellation but demote its priority so it yields to
 		// concurrent on-demand traffic.
 		cost, rebuilt, done, err := s.st.RecoverStepCtx(rc.WithPriority(reqctx.Background), int(req.Index))
-		return senseResponse(err, Response{Value: int64(rebuilt), Done: done, Cost: cost})
+		return senseResponse(err, Response{Value: int64(rebuilt), Done: done, Cost: cost}), nil
 	case OpMarkClean:
-		return senseResponse(s.st.MarkClean(req.Object), Response{})
+		return senseResponse(s.st.MarkClean(req.Object), Response{}), nil
 	case OpReclassify:
 		cost, err := s.st.ReclassifyCtx(rc, req.Object, req.Class)
-		return senseResponse(err, Response{Cost: cost})
+		return senseResponse(err, Response{Cost: cost}), nil
 	case OpPolicy:
 		kind, param := describePolicy(s.st.Policy())
-		return Response{Sense: osd.SenseOK, Status: kind, Value: param, Message: s.st.Policy().Name()}
+		return Response{Sense: osd.SenseOK, Status: kind, Value: param, Message: s.st.Policy().Name()}, nil
 	case OpWriteRange:
 		cost, err := s.st.WriteRangeCtx(rc, req.Object, req.Offset, req.Payload)
-		return senseResponse(err, Response{Cost: cost})
+		return senseResponse(err, Response{Cost: cost}), nil
 	default:
-		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}
+		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}, nil
 	}
 }
 

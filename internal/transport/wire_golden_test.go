@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/hex"
 	"fmt"
 	"strings"
@@ -101,6 +102,102 @@ func TestWireFormatGolden(t *testing.T) {
 		resp.Value != wantResp.Value || resp.Cost != wantResp.Cost ||
 		string(resp.Payload) != string(wantResp.Payload) || resp.Stats != wantResp.Stats {
 		t.Errorf("golden response decode mismatch:\n got %+v\nwant %+v", resp, wantResp)
+	}
+}
+
+// TestBatchedFramesByteIdentical pins the batched wire layout: a frameWriter
+// flush of back-to-back frames — mixing slab-coalesced small payloads,
+// scatter-gathered large payloads, and empty payloads — must emit bytes
+// identical to writing the same frames one at a time with the serial
+// writeFrame/Encode path. Coalescing is purely a syscall optimisation; it
+// must be invisible on the wire.
+func TestBatchedFramesByteIdentical(t *testing.T) {
+	large := make([]byte, coalescePayloadMax*3)
+	for i := range large {
+		large[i] = byte(i * 13)
+	}
+	reqs := []Request{
+		goldenRequest(), // small payload → slab-coalesced
+		{Op: OpGet, Object: osd.ObjectID{PID: 7, OID: 8}, RequestID: 21},                  // no payload
+		{Op: OpPut, Object: osd.ObjectID{PID: 9, OID: 10}, Payload: large, RequestID: 22}, // scatter-gathered
+		{Op: OpDelete, Object: osd.ObjectID{PID: 11, OID: 12}, RequestID: 23},
+	}
+
+	var batched bytes.Buffer
+	w := newFrameWriter(&batched)
+	for i := range reqs {
+		if err := w.stageRequest(&reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	var serial bytes.Buffer
+	for i := range reqs {
+		if err := writeFrame(&serial, EncodeRequest(reqs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batched.Bytes(), serial.Bytes()) {
+		t.Errorf("batched request frames differ from serial frames:\n got %x\nwant %x",
+			batched.Bytes(), serial.Bytes())
+	}
+
+	resps := []Response{
+		goldenResponse(), // small payload → slab-coalesced
+		{RequestID: 31, Sense: osd.SenseNotFound, Message: "object not found"}, // no payload
+		{RequestID: 32, Payload: large, Cost: time.Millisecond},                // scatter-gathered
+		{RequestID: 33, Degraded: true, Payload: []byte{1, 2, 3}},
+	}
+
+	batched.Reset()
+	w = newFrameWriter(&batched)
+	for i := range resps {
+		if err := w.stageResponse(&resps[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	serial.Reset()
+	for i := range resps {
+		if err := writeFrame(&serial, EncodeResponse(resps[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batched.Bytes(), serial.Bytes()) {
+		t.Errorf("batched response frames differ from serial frames:\n got %x\nwant %x",
+			batched.Bytes(), serial.Bytes())
+	}
+
+	// A slab-overflow mid-batch (forced intermediate flush) must still
+	// produce the identical byte stream.
+	big := make([]byte, coalescePayloadMax) // inline-eligible, fills the slab fast
+	var many []Request
+	for i := 0; i < 40; i++ {
+		many = append(many, Request{Op: OpPut, Object: osd.ObjectID{PID: 1, OID: uint64(i)},
+			RequestID: uint64(100 + i), Payload: big})
+	}
+	batched.Reset()
+	w = newFrameWriter(&batched)
+	for i := range many {
+		if err := w.stageRequest(&many[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	serial.Reset()
+	for i := range many {
+		if err := writeFrame(&serial, EncodeRequest(many[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batched.Bytes(), serial.Bytes()) {
+		t.Error("slab-overflow batch differs from serial frames")
 	}
 }
 

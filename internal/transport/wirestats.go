@@ -1,0 +1,58 @@
+package transport
+
+import "sync/atomic"
+
+// Process-wide wire-path counters. They exist so benchmarks and the
+// -opstats profiling mode can see what the zero-copy batched wire path is
+// doing: how often frames coalesce into one syscall, how many bytes each
+// flush moves, and whether every pooled frame lease the transport takes is
+// matched by a release (or an ownership hand-off to the caller). They are
+// monotonic and cheap (one atomic add per event on the flush path, none per
+// byte).
+var (
+	wireFlushes       atomic.Int64 // writer flushes (≈ syscalls on a real socket)
+	wireFlushedFrames atomic.Int64 // frames written across all flushes
+	wireBatchedFrames atomic.Int64 // frames that shared a flush with at least one other
+	wireFlushedBytes  atomic.Int64 // total bytes written by flushes
+	wireLeases        atomic.Int64 // pooled frame buffers leased by readers
+	wireReleases      atomic.Int64 // frame leases released or handed off to callers
+)
+
+// WireStats is a snapshot of the transport's zero-copy/batching counters.
+type WireStats struct {
+	// Flushes is the number of writer flushes; on a TCP connection each is
+	// one writev syscall.
+	Flushes int64
+	// Frames is the total number of frames written.
+	Frames int64
+	// BatchedFrames counts frames that left in a flush carrying more than
+	// one frame — the small-op coalescing win.
+	BatchedFrames int64
+	// Bytes is the total bytes flushed.
+	Bytes int64
+	// Leases and Releases count pooled wire-frame buffers taken by the
+	// reader goroutines and returned (or handed off to callers under the
+	// Result lease protocol). At quiesce they must balance; a gap is a
+	// leaked frame.
+	Leases, Releases int64
+}
+
+// BytesPerFlush is the mean bytes moved per writer syscall.
+func (w WireStats) BytesPerFlush() float64 {
+	if w.Flushes == 0 {
+		return 0
+	}
+	return float64(w.Bytes) / float64(w.Flushes)
+}
+
+// SnapshotWireStats returns the current process-wide wire counters.
+func SnapshotWireStats() WireStats {
+	return WireStats{
+		Flushes:       wireFlushes.Load(),
+		Frames:        wireFlushedFrames.Load(),
+		BatchedFrames: wireBatchedFrames.Load(),
+		Bytes:         wireFlushedBytes.Load(),
+		Leases:        wireLeases.Load(),
+		Releases:      wireReleases.Load(),
+	}
+}
