@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"time"
+
+	"github.com/reo-cache/reo/internal/harness"
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+// clusterArgs carries the -cluster* flag values into runCluster.
+type clusterArgs struct {
+	shards       int
+	addrs        string
+	reotargetBin string
+	churn        bool
+	remote       bool
+	workers      int
+	conns        int
+}
+
+// runCluster replays the selected experiment's workload against an N-shard
+// cluster behind the consistent-hash initiator. Three shard placements are
+// supported: in-process stores (default), loopback wire servers (-remote),
+// and external reotarget processes (-cluster-addrs, or spawned here via
+// -reotarget-bin). The replay byte-verifies every object's final content
+// and prints a shard-count-independent digest: the same trace must print
+// the same digest at -cluster 1 and -cluster N.
+func runCluster(experiment string, opts harness.Options, args clusterArgs) error {
+	loc := workload.Medium
+	switch experiment {
+	case "fig5":
+		loc = workload.Weak
+	case "fig7":
+		loc = workload.Strong
+	}
+	spec := harness.ClusterSpec{
+		Shards:  args.shards,
+		Remote:  args.remote,
+		Workers: args.workers,
+		Conns:   args.conns,
+		Churn:   args.churn,
+	}
+	if args.addrs != "" {
+		spec.Addrs = strings.Split(args.addrs, ",")
+	}
+
+	if args.reotargetBin != "" && len(spec.Addrs) == 0 {
+		if spec.Shards < 1 {
+			return fmt.Errorf("-reotarget-bin needs -cluster N")
+		}
+		addrs, stop, err := spawnTargets(args.reotargetBin, spec.Shards, opts)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		spec.Addrs = addrs
+	}
+
+	mode := "in-process"
+	switch {
+	case len(spec.Addrs) > 0:
+		mode = "multi-process"
+	case spec.Remote:
+		mode = "loopback wire"
+	}
+
+	start := time.Now()
+	res, err := harness.ClusterThroughput(loc, opts, spec)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("== Cluster replay: %d shards (%s), %s locality ==", res.Shards, mode, loc))
+	fmt.Fprintln(w, "shards\tworkers\trequests\thit ratio\tthroughput\tdata\telapsed")
+	fmt.Fprintf(w, "%d\t%d\t%d\t%.1f%%\t%.0f ops/s\t%.1f MB\t%v\n",
+		res.Shards, res.Workers, res.Requests, res.HitRatioPct(), res.OpsPerSec(),
+		float64(res.Bytes)/1e6, res.Elapsed.Round(time.Millisecond))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("content digest: %016x (verified %d, mismatched %d, retries %d)\n",
+		res.Digest, res.Verified, res.Mismatched, res.Retries)
+	w = table("-- per-shard routing --")
+	fmt.Fprintln(w, "shard\tobjects\tops\tbytes in\tbytes out")
+	for _, sc := range res.PerShard {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f MB\t%.1f MB\n",
+			sc.Name, sc.Objects, sc.Ops, float64(sc.BytesIn)/1e6, float64(sc.BytesOut)/1e6)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if args.churn {
+		fmt.Printf("membership churn: migrated %d objects / %.1f MB\n",
+			res.MigratedObjects, float64(res.MigratedBytes)/1e6)
+	}
+	fmt.Printf("[cluster completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	if opts.OpStats != nil {
+		fmt.Printf("-- per-op latency (cluster, wall clock) and cluster gauges --\n%s\n", opts.OpStats)
+	}
+	if res.Mismatched > 0 {
+		return fmt.Errorf("cluster replay: %d objects failed byte verification", res.Mismatched)
+	}
+	return nil
+}
+
+var servingLine = regexp.MustCompile(`serving .* on (\S+)`)
+
+// spawnTargets launches n reotarget processes on ephemeral ports and
+// returns their addresses once each reports it is serving. The returned
+// stop function terminates them all.
+func spawnTargets(bin string, n int, opts harness.Options) (addrs []string, stop func(), err error) {
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Kill()
+			}
+			_ = p.Wait()
+		}
+	}
+	defer func() {
+		if err != nil {
+			stop()
+		}
+	}()
+	chunk := opts.WireChunkBytes()
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin,
+			"-listen", "127.0.0.1:0",
+			"-devices", "5",
+			"-capacity", "64MiB",
+			"-chunk", fmt.Sprintf("%d", chunk),
+			"-policy", "reo-40",
+		)
+		cmd.Stderr = os.Stderr
+		out, perr := cmd.StdoutPipe()
+		if perr != nil {
+			return nil, stop, perr
+		}
+		if serr := cmd.Start(); serr != nil {
+			return nil, stop, fmt.Errorf("spawning %s: %w", bin, serr)
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(out)
+		addr := ""
+		for sc.Scan() {
+			if m := servingLine.FindStringSubmatch(sc.Text()); m != nil {
+				addr = m[1]
+				break
+			}
+		}
+		if addr == "" {
+			return nil, stop, fmt.Errorf("reotarget %d: no serving line before stdout closed", i)
+		}
+		// Drain the rest of stdout so the child never blocks on a full pipe.
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}

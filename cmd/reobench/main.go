@@ -58,6 +58,10 @@ func run(args []string) error {
 		asyncRecl  = fs.Bool("async-reclass", false, "run the asynchronous reclassification pipeline instead of the deterministic in-lock refresh (output no longer byte-comparable to golden runs)")
 		chaos      = fs.Bool("chaos", false, "run the chaos soak: replay under injected faults (transient errors, bit-flips, latent sectors, fail-slow, fail-stop) and verify every byte end to end")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault-injection seed for -chaos; the same seed replays the identical fault sequence")
+		clusterN   = fs.Int("cluster", 0, "replay against an N-shard consistent-hash cluster (0 = off); combine with -remote for loopback wire shards")
+		clAddrs    = fs.String("cluster-addrs", "", "comma-separated reotarget addresses to use as cluster shards (overrides -cluster's in-process shards)")
+		reotargets = fs.String("reotarget-bin", "", "spawn -cluster N reotarget processes from this binary and replay against them")
+		clChurn    = fs.Bool("cluster-churn", false, "add one shard and retire another mid-replay (in-process -cluster mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +116,18 @@ func run(args []string) error {
 			fmt.Printf("-- per-op latency (chaos, virtual time, cumulative) --\n%s\n", opts.OpStats)
 		}
 		return nil
+	}
+
+	if *clusterN > 0 || *clAddrs != "" {
+		return runCluster(*experiment, opts, clusterArgs{
+			shards:       *clusterN,
+			addrs:        *clAddrs,
+			reotargetBin: *reotargets,
+			churn:        *clChurn,
+			remote:       *remote,
+			workers:      *workers,
+			conns:        *conns,
+		})
 	}
 
 	if *remote {

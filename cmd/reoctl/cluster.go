@@ -1,0 +1,147 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/reo-cache/reo/internal/cluster"
+	"github.com/reo-cache/reo/internal/transport"
+)
+
+// runCluster handles `reoctl cluster -addrs a,b,c <command>`. The cluster
+// has no resident control plane: reoctl builds an initiator over the live
+// targets (adopting their inventory into the placement directory), runs
+// one membership or status operation, and exits. The durable state is the
+// objects on the targets; the addr list is the operator's membership
+// record.
+//
+// Commands:
+//
+//	status               per-shard occupancy and health, fanned out
+//	owner <oid>          which shard a request for the object routes to
+//	add <addr>           join a new target and rebalance ~1/N of objects onto it
+//	remove <addr>        retire a target, draining its objects to the survivors
+func runCluster(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("reoctl cluster", flag.ContinueOnError)
+	addrsFlag := fs.String("addrs", "", "comma-separated addresses of the current cluster members")
+	conns := fs.Int("conns", 1, "connections per target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if *addrsFlag == "" {
+		return errors.New("cluster: -addrs required (current members, comma-separated)")
+	}
+	if len(rest) == 0 {
+		return errors.New("cluster: missing command (status|owner|add|remove)")
+	}
+	addrs := strings.Split(*addrsFlag, ",")
+
+	cmd, rest := rest[0], rest[1:]
+
+	// For `remove`, the retiring target must be part of the initiator so
+	// its objects can be drained off it.
+	dialList := addrs
+	if cmd == "remove" && len(rest) == 1 && !contains(addrs, rest[0]) {
+		dialList = append(append([]string(nil), addrs...), rest[0])
+	}
+
+	shards := make([]cluster.Shard, 0, len(dialList))
+	var targets []*transport.RemoteTarget
+	defer func() {
+		for _, rt := range targets {
+			rt.Close()
+		}
+	}()
+	for _, addr := range dialList {
+		rt, err := transport.DialRemoteTargetPool(addr, *conns)
+		if err != nil {
+			return fmt.Errorf("cluster: dialing %s: %w", addr, err)
+		}
+		targets = append(targets, rt)
+		shards = append(shards, cluster.Shard{Name: addr, Target: rt})
+	}
+	ini, err := cluster.New(cluster.Config{Shards: shards})
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "status":
+		fmt.Fprintf(stdout, "members: %s\n", strings.Join(ini.Members(), ", "))
+		fmt.Fprintf(stdout, "objects: %d placed\n", ini.DirectoryLen())
+		for _, s := range ini.Stats() {
+			if s.Err != nil {
+				fmt.Fprintf(stdout, "  %s: ERROR %v\n", s.Name, s.Err)
+				continue
+			}
+			fmt.Fprintf(stdout, "  %s: %d objects, %d/%d bytes, %d/%d devices alive, recovery=%v\n",
+				s.Name, s.Objects, s.UsedBytes, s.RawCapacity, s.AliveDevices, s.Devices, s.RecoveryActive)
+		}
+		return nil
+	case "owner":
+		if len(rest) != 1 {
+			return errors.New("cluster: owner <oid>")
+		}
+		id, err := parseOID(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "owner %v: %s\n", id, ini.OwnerOf(id))
+		return nil
+	case "add":
+		if len(rest) != 1 {
+			return errors.New("cluster: add <addr>")
+		}
+		addr := rest[0]
+		rt, err := transport.DialRemoteTargetPool(addr, *conns)
+		if err != nil {
+			return fmt.Errorf("cluster: dialing new member %s: %w", addr, err)
+		}
+		targets = append(targets, rt)
+		stats, err := ini.AddTarget(addr, rt)
+		if err != nil {
+			return err
+		}
+		printRebalance(stdout, "add "+addr, stats)
+		fmt.Fprintf(stdout, "members now: %s\n", strings.Join(append(addrs, addr), ","))
+		return nil
+	case "remove":
+		if len(rest) != 1 {
+			return errors.New("cluster: remove <addr>")
+		}
+		addr := rest[0]
+		stats, err := ini.RemoveTarget(addr)
+		printRebalance(stdout, "remove "+addr, stats)
+		if err != nil {
+			return err
+		}
+		var survivors []string
+		for _, a := range addrs {
+			if a != addr {
+				survivors = append(survivors, a)
+			}
+		}
+		fmt.Fprintf(stdout, "members now: %s\n", strings.Join(survivors, ","))
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown command %q (want status|owner|add|remove)", cmd)
+	}
+}
+
+func printRebalance(w io.Writer, what string, stats cluster.RebalanceStats) {
+	fmt.Fprintf(w, "%s: planned %d, moved %d objects / %d bytes, skipped %d, dropped %d\n",
+		what, stats.Planned, stats.Moved, stats.MovedBytes, stats.Skipped, stats.Dropped)
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -13,6 +13,13 @@
 //	reoctl -addr 127.0.0.1:9700 fail 0
 //	reoctl -addr 127.0.0.1:9700 spare 0
 //	reoctl -addr 127.0.0.1:9700 recover
+//
+// Cluster membership (consistent-hash sharding across reotargets):
+//
+//	reoctl cluster -addrs 127.0.0.1:9700,127.0.0.1:9701 status
+//	reoctl cluster -addrs 127.0.0.1:9700,127.0.0.1:9701 owner 0x10010
+//	reoctl cluster -addrs 127.0.0.1:9700,127.0.0.1:9701 add 127.0.0.1:9702
+//	reoctl cluster -addrs 127.0.0.1:9700,127.0.0.1:9701,127.0.0.1:9702 remove 127.0.0.1:9701
 package main
 
 import (
@@ -43,7 +50,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (put|get|del|classify|query|status|stats|fail|spare|recover)")
+		return errors.New("missing command (put|get|del|classify|query|status|stats|fail|spare|recover|cluster)")
+	}
+	if rest[0] == "cluster" {
+		return runCluster(rest[1:], stdout)
 	}
 	client, err := transport.Dial(*addr)
 	if err != nil {

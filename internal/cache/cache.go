@@ -29,10 +29,10 @@ import (
 	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/osd"
-	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/target"
 )
 
 // Errors returned by the manager.
@@ -56,37 +56,12 @@ const (
 	FreqOnly
 )
 
-// Target is the object-storage-target surface the cache manager drives. It
-// is implemented by *store.Store (in-process target) and by
-// transport.RemoteTarget (a target reached over the initiator protocol),
-// mirroring the paper's osd-initiator/osd-target split.
-//
-// Every data-path method carries the per-request context (*reqctx.Ctx); a
-// nil context means a background or legacy request — never cancelled, no
-// deadline, no attribution.
-type Target interface {
-	// PutCtx writes an object under the policy scheme for class.
-	PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error)
-	// WriteRangeCtx applies a partial in-place update and marks the object
-	// dirty.
-	WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error)
-	// GetCtx reads an object into a leased pooled buffer the caller must
-	// Release; degraded reports on-the-fly reconstruction.
-	GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost time.Duration, degraded bool, err error)
-	// Delete removes an object.
-	Delete(id osd.ObjectID) error
-	// MarkClean clears the dirty flag after a flush.
-	MarkClean(id osd.ObjectID) error
-	// ReclassifyCtx re-labels (and if needed re-encodes) an object.
-	ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error)
-	// Policy returns the target's redundancy policy.
-	Policy() policy.Policy
-	// RawCapacity returns total raw flash bytes.
-	RawCapacity() int64
-	// AliveDevices and Devices report array health.
-	AliveDevices() int
-	Devices() int
-}
+// Target is the object-storage-target surface the cache manager drives —
+// an alias for the shared target.Target interface, which is implemented by
+// *store.Store (in-process), transport.RemoteTarget (over the initiator
+// protocol), and cluster.Initiator (a consistent-hash-sharded cluster of
+// targets), mirroring the paper's osd-initiator/osd-target split.
+type Target = target.Target
 
 // The in-process target satisfies the interface.
 var _ Target = (*store.Store)(nil)
@@ -576,7 +551,7 @@ func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirt
 				continue // the lock was dropped; re-check the entry
 			}
 			m.dropEntryLocked(prev)
-			_ = m.cfg.Store.Delete(id) // ignore not-found
+			_ = m.cfg.Store.DeleteCtx(rc, id) // ignore not-found
 			break
 		}
 

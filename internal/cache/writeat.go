@@ -97,7 +97,7 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 					return Result{}, err
 				}
 				m.dropEntryLocked(e)
-				_ = m.cfg.Store.Delete(id)
+				_ = m.cfg.Store.DeleteCtx(rc, id)
 				cost, admitErr := m.admitLocked(rc, id, merged, true)
 				m.mu.Unlock()
 				if admitErr != nil {

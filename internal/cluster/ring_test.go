@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+func sampleIDs(n int) []osd.ObjectID {
+	ids := make([]osd.ObjectID, n)
+	for i := range ids {
+		ids[i] = osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID + uint64(i)}
+	}
+	return ids
+}
+
+func ringOf(t *testing.T, vnodes int, members ...string) *Ring {
+	t.Helper()
+	r := NewRing(vnodes)
+	for _, m := range members {
+		if err := r.Add(m); err != nil {
+			t.Fatalf("Add(%q): %v", m, err)
+		}
+	}
+	return r
+}
+
+// TestRingUniformity checks the load-spread property the vnode count is
+// chosen for: at 128 vnodes each member's key share stays within ±10% of
+// uniform.
+func TestRingUniformity(t *testing.T) {
+	const members = 8
+	names := make([]string, members)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	r := ringOf(t, DefaultVnodes, names...)
+
+	ids := sampleIDs(200_000)
+	counts := make(map[string]int, members)
+	for _, id := range ids {
+		counts[r.Owner(id)]++
+	}
+	uniform := float64(len(ids)) / members
+	for _, name := range names {
+		got := float64(counts[name])
+		dev := (got - uniform) / uniform
+		if dev < -0.10 || dev > 0.10 {
+			t.Errorf("member %s owns %.0f keys, %.1f%% off uniform %.0f (want within ±10%%)",
+				name, got, dev*100, uniform)
+		}
+	}
+}
+
+// TestRingDeterminism checks placement is a pure function of membership:
+// insertion order, process, and run must not matter.
+func TestRingDeterminism(t *testing.T) {
+	a := ringOf(t, DefaultVnodes, "t0", "t1", "t2", "t3")
+	b := ringOf(t, DefaultVnodes, "t3", "t1", "t0", "t2")
+	for _, id := range sampleIDs(50_000) {
+		if ao, bo := a.Owner(id), b.Owner(id); ao != bo {
+			t.Fatalf("owner of %v differs by insertion order: %q vs %q", id, ao, bo)
+		}
+	}
+	// And across clones (the rebalance path snapshots with Clone).
+	c := a.Clone()
+	for _, id := range sampleIDs(10_000) {
+		if a.Owner(id) != c.Owner(id) {
+			t.Fatalf("clone disagrees with original for %v", id)
+		}
+	}
+}
+
+// TestRingMinimalMovementAdd checks the consistent-hashing contract on
+// grow: every object that moves, moves TO the new member, and the moved
+// fraction is close to 1/(N+1).
+func TestRingMinimalMovementAdd(t *testing.T) {
+	before := ringOf(t, DefaultVnodes, "t0", "t1", "t2", "t3")
+	after := before.Clone()
+	if err := after.Add("t4"); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := sampleIDs(100_000)
+	moved := 0
+	for _, id := range ids {
+		oldOwner, newOwner := before.Owner(id), after.Owner(id)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "t4" {
+			t.Fatalf("object %v moved %q -> %q; only arcs claimed by the new member may move",
+				id, oldOwner, newOwner)
+		}
+	}
+	frac := float64(moved) / float64(len(ids))
+	// Ideal is 1/5 = 20%; vnode jitter allows some slack but anything near
+	// 2x ideal means arcs moved that shouldn't have.
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("add moved %.1f%% of keys; want ~20%%", frac*100)
+	}
+}
+
+// TestRingMinimalMovementRemove checks the contract on shrink: only the
+// removed member's objects move, and the moved fraction stays within the
+// rebalance budget (≤ 35% for a 4-member ring).
+func TestRingMinimalMovementRemove(t *testing.T) {
+	before := ringOf(t, DefaultVnodes, "t0", "t1", "t2", "t3")
+	after := before.Clone()
+	if err := after.Remove("t2"); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := sampleIDs(100_000)
+	moved := 0
+	for _, id := range ids {
+		oldOwner, newOwner := before.Owner(id), after.Owner(id)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if oldOwner != "t2" {
+			t.Fatalf("object %v moved %q -> %q though its owner stayed on the ring",
+				id, oldOwner, newOwner)
+		}
+		if newOwner == "t2" {
+			t.Fatalf("object %v moved onto the removed member", id)
+		}
+	}
+	frac := float64(moved) / float64(len(ids))
+	if frac > 0.35 {
+		t.Errorf("remove moved %.1f%% of keys; rebalance budget is 35%%", frac*100)
+	}
+	if frac < 0.15 {
+		t.Errorf("remove moved only %.1f%% of keys; t2 should have owned ~25%%", frac*100)
+	}
+}
+
+// TestRingMembership exercises the bookkeeping edges.
+func TestRingMembership(t *testing.T) {
+	r := NewRing(0)
+	if err := r.Add(""); err == nil {
+		t.Error("empty member name accepted")
+	}
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a"); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if err := r.Remove("b"); err == nil {
+		t.Error("removing absent member succeeded")
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Members() = %v", got)
+	}
+	if err := r.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len() = %d after removing sole member", r.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Owner on empty ring did not panic")
+		}
+	}()
+	r.Owner(osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID})
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/workload"
+)
+
+func clusterOpts() Options {
+	return Options{Scale: 1.0 / 256, Seed: 7, Objects: 120, Requests: 1200}
+}
+
+// TestClusterMatchesSingleTarget is the byte-identical contract: the same
+// trace replayed at 1 shard, 4 in-process shards, and 4 loopback-wire
+// shards must verify every object and produce the same content digest.
+func TestClusterMatchesSingleTarget(t *testing.T) {
+	single, err := ClusterThroughput(workload.Medium, clusterOpts(), ClusterSpec{Shards: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Mismatched != 0 {
+		t.Fatalf("single-shard replay: %d objects failed verification", single.Mismatched)
+	}
+	if single.Verified != 120 {
+		t.Fatalf("single-shard replay verified %d of 120 objects", single.Verified)
+	}
+
+	for _, tc := range []struct {
+		name string
+		spec ClusterSpec
+	}{
+		{"4-shard in-process", ClusterSpec{Shards: 4, Workers: 4}},
+		{"4-shard loopback wire", ClusterSpec{Shards: 4, Workers: 4, Remote: true, Conns: 2}},
+	} {
+		res, err := ClusterThroughput(workload.Medium, clusterOpts(), tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Mismatched != 0 {
+			t.Errorf("%s: %d objects failed verification", tc.name, res.Mismatched)
+		}
+		if res.Digest != single.Digest {
+			t.Errorf("%s: digest %016x != single-target %016x", tc.name, res.Digest, single.Digest)
+		}
+		if res.Shards != 4 || len(res.PerShard) != 4 {
+			t.Errorf("%s: shards=%d per-shard rows=%d", tc.name, res.Shards, len(res.PerShard))
+		}
+	}
+}
+
+// TestClusterChurnReplay checks the membership-change path end to end
+// through the harness: digest unchanged, nothing lost.
+func TestClusterChurnReplay(t *testing.T) {
+	base, err := ClusterThroughput(workload.Medium, clusterOpts(), ClusterSpec{Shards: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterThroughput(workload.Medium, clusterOpts(), ClusterSpec{Shards: 4, Workers: 4, Churn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("churn replay: %d objects failed verification", res.Mismatched)
+	}
+	if res.Digest != base.Digest {
+		t.Errorf("churn replay digest %016x != baseline %016x", res.Digest, base.Digest)
+	}
+}
+
+// BenchmarkClusterThroughput measures sharded replay throughput; CI's
+// bench smoke runs it alongside the other harness benchmarks.
+func BenchmarkClusterThroughput(b *testing.B) {
+	opts := Options{Scale: 1.0 / 256, Seed: 7, Objects: 120, Requests: 1200}
+	for i := 0; i < b.N; i++ {
+		res, err := ClusterThroughput(workload.Medium, opts, ClusterSpec{Shards: 4, Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mismatched != 0 {
+			b.Fatalf("%d objects failed verification", res.Mismatched)
+		}
+		b.ReportMetric(res.OpsPerSec(), "ops/s")
+	}
+}

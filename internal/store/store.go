@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -481,6 +482,15 @@ func (s *Store) Delete(id osd.ObjectID) error {
 	return nil
 }
 
+// DeleteCtx is Delete with request attribution. Deletion is not
+// cancellable — the caller has already dropped its own bookkeeping for the
+// object, so an abandoned delete would strand flash space — but the context
+// still tracks the request for on-demand accounting.
+func (s *Store) DeleteCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	defer s.trackOnDemand(rc)()
+	return s.Delete(id)
+}
+
 func (s *Store) freeObjectLocked(obj *object) {
 	s.stripes.Free(obj.stripes)
 	delete(s.objects, obj.id)
@@ -610,6 +620,14 @@ func (s *Store) MarkClean(id osd.ObjectID) error {
 	return s.dir.Update(id, func(info *osd.Info) { info.Dirty = false })
 }
 
+// MarkCleanCtx is MarkClean with request attribution. Like DeleteCtx it is
+// not cancellable: the flush that triggered it already landed in the
+// backend, so the flag must clear regardless of the client's patience.
+func (s *Store) MarkCleanCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	defer s.trackOnDemand(rc)()
+	return s.MarkClean(id)
+}
+
 // Status classifies the object per §IV.D without charging IO.
 func (s *Store) Status(id osd.ObjectID) ObjectStatus {
 	s.mu.RLock()
@@ -694,6 +712,36 @@ func (s *Store) ObjectCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.objects)
+}
+
+// ListObjects snapshots the identity, size, class, and dirty flag of every
+// live user object — the inventory a cluster initiator fetches to seed its
+// placement directory. Metadata objects are per-target infrastructure and
+// excluded; the result is sorted by (PID, OID) so inventories are
+// deterministic across calls.
+func (s *Store) ListObjects() []osd.Info {
+	s.mu.RLock()
+	out := make([]osd.Info, 0, len(s.objects))
+	for _, obj := range s.objects {
+		if obj.class == osd.ClassMetadata {
+			continue
+		}
+		out = append(out, osd.Info{
+			ID:    obj.id,
+			Type:  osd.TypeUser,
+			Class: obj.class,
+			Size:  int64(obj.size),
+			Dirty: obj.dirty,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.PID != out[j].ID.PID {
+			return out[i].ID.PID < out[j].ID.PID
+		}
+		return out[i].ID.OID < out[j].ID.OID
+	})
+	return out
 }
 
 // CountByClass returns live object counts per class.

@@ -1,0 +1,60 @@
+// Package target defines the object-storage-target surface the cache
+// manager (and any other initiator-side component) drives. It is the seam
+// of the paper's osd-initiator/osd-target split, implemented by three
+// layers of the system:
+//
+//   - *store.Store — the in-process target owning one flash array;
+//   - *transport.RemoteTarget — one target reached over the initiator wire
+//     protocol (optionally through a connection pool);
+//   - *cluster.Initiator — a sharded cluster of targets behind a
+//     consistent-hash ring, each shard itself any Target.
+//
+// Because all three present the same interface, the public reo API, the
+// cache manager, the harness, and reobench run unmodified whether the flash
+// sits in-process, across a wire, or spread over N shards.
+package target
+
+import (
+	"time"
+
+	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
+)
+
+// Target is the object-storage-target interface.
+//
+// Every data-path method carries the per-request context (*reqctx.Ctx); a
+// nil context means a background or legacy request — never cancelled, no
+// deadline, no attribution. Delete and MarkClean keep non-context forms for
+// callers with no request in scope; their Ctx variants attribute the
+// request on the wire but are not cancellable mid-operation (an abandoned
+// delete or dirty-flag clear would strand state the caller already acted
+// on).
+type Target interface {
+	// PutCtx writes an object under the policy scheme for class.
+	PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error)
+	// WriteRangeCtx applies a partial in-place update and marks the object
+	// dirty.
+	WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error)
+	// GetCtx reads an object into a leased pooled buffer the caller must
+	// Release; degraded reports on-the-fly reconstruction.
+	GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost time.Duration, degraded bool, err error)
+	// Delete removes an object; DeleteCtx attributes the request.
+	Delete(id osd.ObjectID) error
+	DeleteCtx(rc *reqctx.Ctx, id osd.ObjectID) error
+	// MarkClean clears the dirty flag after a flush; MarkCleanCtx
+	// attributes the request.
+	MarkClean(id osd.ObjectID) error
+	MarkCleanCtx(rc *reqctx.Ctx, id osd.ObjectID) error
+	// ReclassifyCtx re-labels (and if needed re-encodes) an object.
+	ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error)
+	// Policy returns the target's redundancy policy.
+	Policy() policy.Policy
+	// RawCapacity returns total raw flash bytes.
+	RawCapacity() int64
+	// AliveDevices and Devices report array health.
+	AliveDevices() int
+	Devices() int
+}

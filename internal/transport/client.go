@@ -576,6 +576,29 @@ func (c *Client) Stats() (StatsBody, error) {
 	return resp.Stats, nil
 }
 
+// List fetches the target's user-object inventory: identity, size, class,
+// and dirty flag for every live object. A cluster initiator uses it to
+// adopt an already-populated target into its placement directory.
+func (c *Client) List() ([]osd.Info, error) {
+	return c.ListCtx(nil)
+}
+
+// ListCtx is List carrying the request's ID and deadline on the wire.
+func (c *Client) ListCtx(rc *reqctx.Ctx) ([]osd.Info, error) {
+	if err := rc.Err(); err != nil {
+		return nil, err
+	}
+	resp, frame, err := c.roundTripFrame(rc, Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	defer releaseFrame(frame)
+	if err := senseError(resp); err != nil {
+		return nil, err
+	}
+	return decodeInventory(resp.Payload)
+}
+
 // FailDevice injects a device failure (the shootdown channel of §VI.C).
 func (c *Client) FailDevice(idx int) error {
 	resp, err := c.roundTrip(nil, Request{Op: OpFailDevice, Index: int32(idx)})

@@ -38,6 +38,7 @@ const (
 	OpReclassify
 	OpPolicy
 	OpWriteRange
+	OpList
 )
 
 // String returns the op name.
@@ -69,6 +70,8 @@ func (o Op) String() string {
 		return "policy"
 	case OpWriteRange:
 		return "write-range"
+	case OpList:
+		return "list"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -252,7 +255,7 @@ func decodeRequestInPlace(body []byte) (Request, error) {
 		return Request{}, ErrShortFrame
 	}
 	op := Op(body[0])
-	if op < OpPut || op > OpWriteRange {
+	if op < OpPut || op > OpList {
 		return Request{}, fmt.Errorf("%w: %d", ErrUnknownOp, body[0])
 	}
 	req := Request{
@@ -405,4 +408,44 @@ func boolByte(b bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// inventoryEntrySize is the fixed wire size of one OpList inventory entry:
+// PID, OID, size, class, dirty.
+const inventoryEntrySize = 8 + 8 + 8 + 1 + 1
+
+// encodeInventory renders an OpList response payload: a packed array of
+// inventory entries, count implied by the payload length.
+func encodeInventory(infos []osd.Info) []byte {
+	out := make([]byte, 0, len(infos)*inventoryEntrySize)
+	for _, info := range infos {
+		out = binary.BigEndian.AppendUint64(out, info.ID.PID)
+		out = binary.BigEndian.AppendUint64(out, info.ID.OID)
+		out = binary.BigEndian.AppendUint64(out, uint64(info.Size))
+		out = append(out, byte(info.Class), boolByte(info.Dirty))
+	}
+	return out
+}
+
+// decodeInventory parses an OpList response payload.
+func decodeInventory(payload []byte) ([]osd.Info, error) {
+	if len(payload)%inventoryEntrySize != 0 {
+		return nil, fmt.Errorf("%w: inventory payload %d bytes, not a multiple of %d",
+			ErrShortFrame, len(payload), inventoryEntrySize)
+	}
+	out := make([]osd.Info, 0, len(payload)/inventoryEntrySize)
+	for off := 0; off < len(payload); off += inventoryEntrySize {
+		e := payload[off : off+inventoryEntrySize]
+		out = append(out, osd.Info{
+			ID: osd.ObjectID{
+				PID: binary.BigEndian.Uint64(e[0:8]),
+				OID: binary.BigEndian.Uint64(e[8:16]),
+			},
+			Type:  osd.TypeUser,
+			Size:  int64(binary.BigEndian.Uint64(e[16:24])),
+			Class: osd.Class(e[24]),
+			Dirty: e[25] != 0,
+		})
+	}
+	return out, nil
 }

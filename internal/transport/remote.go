@@ -8,10 +8,11 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/bufpool"
-	"github.com/reo-cache/reo/internal/cache"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/target"
 )
 
 // RemoteTarget adapts one or more Clients into the cache manager's Target
@@ -52,7 +53,7 @@ type RemoteTarget struct {
 	opsSince    int
 }
 
-var _ cache.Target = (*RemoteTarget)(nil)
+var _ target.Target = (*RemoteTarget)(nil)
 
 // statsRefreshOps bounds how stale the cached device-health snapshot can
 // get, in operations.
@@ -248,14 +249,14 @@ func (rt *RemoteTarget) tick() {
 	}
 }
 
-// PutCtx implements cache.Target, carrying the request's ID and deadline on
+// PutCtx implements target.Target, carrying the request's ID and deadline on
 // the wire.
 func (rt *RemoteTarget) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
 	rt.tick()
 	return rt.client().PutCtx(rc, id, data, class, dirty)
 }
 
-// GetCtx implements cache.Target. The returned lease is the response frame
+// GetCtx implements target.Target. The returned lease is the response frame
 // itself, narrowed to the payload by the client's reader goroutine — no
 // payload copy happens anywhere between the target's flash array and the
 // caller, who releases the frame through the usual Result lease protocol.
@@ -264,48 +265,62 @@ func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, t
 	return rt.client().GetLeasedCtx(rc, id)
 }
 
-// Delete implements cache.Target.
+// Delete implements target.Target.
 func (rt *RemoteTarget) Delete(id osd.ObjectID) error {
 	rt.tick()
 	return rt.client().Delete(id)
 }
 
-// WriteRangeCtx implements cache.Target.
+// DeleteCtx implements target.Target: the wire already carried request ID
+// and deadline for every other op, this pool-level wrapper gives deletes
+// the same attribution.
+func (rt *RemoteTarget) DeleteCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	rt.tick()
+	return rt.client().DeleteCtx(rc, id)
+}
+
+// WriteRangeCtx implements target.Target.
 func (rt *RemoteTarget) WriteRangeCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data []byte) (time.Duration, error) {
 	rt.tick()
 	return rt.client().WriteRangeCtx(rc, id, offset, data)
 }
 
-// MarkClean implements cache.Target.
+// MarkClean implements target.Target.
 func (rt *RemoteTarget) MarkClean(id osd.ObjectID) error {
 	rt.tick()
 	return rt.client().MarkClean(id)
 }
 
-// ReclassifyCtx implements cache.Target.
+// MarkCleanCtx implements target.Target (request-attributed MarkClean).
+func (rt *RemoteTarget) MarkCleanCtx(rc *reqctx.Ctx, id osd.ObjectID) error {
+	rt.tick()
+	return rt.client().MarkCleanCtx(rc, id)
+}
+
+// ReclassifyCtx implements target.Target.
 func (rt *RemoteTarget) ReclassifyCtx(rc *reqctx.Ctx, id osd.ObjectID, class osd.Class) (time.Duration, error) {
 	rt.tick()
 	return rt.client().ReclassifyCtx(rc, id, class)
 }
 
-// Policy implements cache.Target.
+// Policy implements target.Target.
 func (rt *RemoteTarget) Policy() policy.Policy { return rt.pol }
 
-// RawCapacity implements cache.Target.
+// RawCapacity implements target.Target.
 func (rt *RemoteTarget) RawCapacity() int64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.rawCapacity
 }
 
-// AliveDevices implements cache.Target.
+// AliveDevices implements target.Target.
 func (rt *RemoteTarget) AliveDevices() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.alive
 }
 
-// Devices implements cache.Target.
+// Devices implements target.Target.
 func (rt *RemoteTarget) Devices() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -315,3 +330,31 @@ func (rt *RemoteTarget) Devices() int {
 // Refresh forces an immediate device-health refresh (e.g. after the
 // operator injects a failure in a test).
 func (rt *RemoteTarget) Refresh() error { return rt.refreshStats() }
+
+// Status queries the remote object's availability classification (§IV.D).
+func (rt *RemoteTarget) Status(id osd.ObjectID) (store.ObjectStatus, error) {
+	rt.tick()
+	return rt.client().Status(id)
+}
+
+// TargetStats fetches the target's live statistics snapshot — the shard
+// view a cluster initiator aggregates.
+func (rt *RemoteTarget) TargetStats() (StatsBody, error) {
+	rt.tick()
+	return rt.client().Stats()
+}
+
+// RecoverStep drives up to n objects of the remote target's rebuild queue,
+// so cluster-wide recovery sweeps can fan out across shards.
+func (rt *RemoteTarget) RecoverStep(n int) (rebuilt int, done bool, err error) {
+	rt.tick()
+	return rt.client().RecoverStep(n)
+}
+
+// ListObjects fetches the target's user-object inventory (identity, size,
+// class, dirty flag) — what a cluster initiator needs to adopt a live,
+// already-populated target into its placement directory.
+func (rt *RemoteTarget) ListObjects() ([]osd.Info, error) {
+	rt.tick()
+	return rt.client().List()
+}

@@ -380,6 +380,8 @@ func (s *Server) dispatch(req Request) (Response, *bufpool.Buf) {
 	case OpWriteRange:
 		cost, err := s.st.WriteRangeCtx(rc, req.Object, req.Offset, req.Payload)
 		return senseResponse(err, Response{Cost: cost}), nil
+	case OpList:
+		return Response{Sense: osd.SenseOK, Payload: encodeInventory(s.st.ListObjects())}, nil
 	default:
 		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}, nil
 	}
