@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/harness"
 	"github.com/reo-cache/reo/internal/workload"
 )
@@ -283,6 +285,40 @@ func BenchmarkDegradedRead(b *testing.B) {
 		_, res, err := c.Read(id)
 		if err != nil || !res.Hit {
 			b.Fatalf("degraded path failed: %+v, %v", res, err)
+		}
+	}
+}
+
+// BenchmarkWriteAmplification regenerates the write-amplification table:
+// the tiny-object churn trace replayed under {in-place, log-structured} ×
+// {admit-all, write-aware admission}, reporting system-level WA (flash
+// bytes programmed per user byte offered) for the seed path and the tuned
+// path, plus the relative reduction.
+func BenchmarkWriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Objects = 300
+		opts.Requests = 8000
+		rows, err := harness.WriteAmplification(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var seed, tuned harness.WriteAmpRow
+			for _, r := range rows {
+				switch {
+				case r.Layout == flash.LayoutInPlace && r.Admission == cache.AdmitAll:
+					seed = r
+				case r.Layout == flash.LayoutLog && r.Admission == cache.AdmitOnReuse:
+					tuned = r
+				}
+			}
+			b.ReportMetric(seed.SystemWA, "inplace-admitall-WA")
+			b.ReportMetric(tuned.SystemWA, "log-writeaware-WA")
+			if seed.SystemWA > 0 {
+				b.ReportMetric((1-tuned.SystemWA/seed.SystemWA)*100, "WA-reduction-%")
+			}
+			b.ReportMetric(tuned.HitRatioPct-seed.HitRatioPct, "hit-delta-pp")
 		}
 	}
 }

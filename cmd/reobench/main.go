@@ -8,7 +8,7 @@
 //	reobench -experiment fig8 -scale 0.015625 -seed 42
 //
 // Experiments: space, fig5, fig6, fig7, fig8, fig9, headline,
-// ablate-recovery, ablate-hotness, ablate-chunk, all.
+// ablate-recovery, ablate-hotness, ablate-chunk, ablate-wear, writeamp, all.
 //
 // The -scale flag linearly scales object and chunk sizes relative to the
 // paper (1.0 = 4.4MB mean objects ≈ 17GB data set; the default 1/64 keeps
@@ -26,6 +26,8 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/harness"
 	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/workload"
@@ -41,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("reobench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run (space|fig5|fig6|fig7|fig8|fig9|headline|ablate-recovery|ablate-hotness|ablate-chunk|all)")
+		experiment = fs.String("experiment", "all", "which experiment to run (space|fig5|fig6|fig7|fig8|fig9|headline|ablate-recovery|ablate-hotness|ablate-chunk|ablate-wear|writeamp|all)")
 		scale      = fs.Float64("scale", 1.0/64, "linear size scale vs the paper (1.0 = 4.4MB mean objects)")
 		seed       = fs.Int64("seed", 1, "trace synthesis seed")
 		parallel   = fs.Int("parallel", defaultParallelism(), "concurrent experiment runs")
@@ -62,6 +64,10 @@ func run(args []string) error {
 		clAddrs    = fs.String("cluster-addrs", "", "comma-separated reotarget addresses to use as cluster shards (overrides -cluster's in-process shards)")
 		reotargets = fs.String("reotarget-bin", "", "spawn -cluster N reotarget processes from this binary and replay against them")
 		clChurn    = fs.Bool("cluster-churn", false, "add one shard and retire another mid-replay (in-process -cluster mode only)")
+		layoutStr  = fs.String("flash-layout", "inplace", "flash write path: inplace (seed behaviour) or log (append-only segments with GC)")
+		segBytes   = fs.Int64("segment-bytes", 0, "log-structured segment size in bytes (0 = capacity/64, clamped)")
+		admitStr   = fs.String("admission", "all", "clean-miss admission gate: all (admit every miss) or reuse (Flashield-style ghost filter)")
+		admitHits  = fs.Int("admit-min-hits", 0, "prior misses required before -admission=reuse admits an object (0 = 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +81,23 @@ func run(args []string) error {
 		Timeout:      *timeout,
 		CancelRate:   *cancelRate,
 		AsyncReclass: *asyncRecl,
+		SegmentBytes: *segBytes,
+		AdmitMinHits: *admitHits,
+	}
+	switch *layoutStr {
+	case "inplace":
+	case "log":
+		opts.Layout = flash.LayoutLog
+		opts.BackgroundGC = true
+	default:
+		return fmt.Errorf("flash-layout %q (want inplace or log)", *layoutStr)
+	}
+	switch *admitStr {
+	case "all":
+	case "reuse":
+		opts.Admission = cache.AdmitOnReuse
+	default:
+		return fmt.Errorf("admission %q (want all or reuse)", *admitStr)
 	}
 	if *cancelRate < 0 || *cancelRate > 1 {
 		return fmt.Errorf("cancel-rate %v outside [0,1]", *cancelRate)
@@ -146,12 +169,14 @@ func run(args []string) error {
 		"ablate-hotness":  runAblateHotness,
 		"ablate-chunk":    runAblateChunk,
 		"ablate-wear":     runAblateWear,
+		"writeamp":        runWriteAmp,
 	}
 	// "all" omits the standalone headline experiment: fig9 already prints
 	// the headline multipliers from its own rows.
 	order := []string{
 		"space", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"ablate-recovery", "ablate-hotness", "ablate-chunk", "ablate-wear",
+		"writeamp",
 	}
 
 	names := []string{*experiment}
@@ -395,6 +420,22 @@ func runAblateWear(opts harness.Options) error {
 	fmt.Fprintln(w, "placement\tmax wear\tmin wear\timbalance")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\n", r.Placement, r.MaxWearCycles, r.MinWearCycles, r.Imbalance)
+	}
+	return w.Flush()
+}
+
+func runWriteAmp(opts harness.Options) error {
+	rows, err := harness.WriteAmplification(opts)
+	if err != nil {
+		return err
+	}
+	w := table("== Write amplification: tiny-object churn trace, {in-place, log} × {admit-all, admit-on-reuse} ==")
+	fmt.Fprintln(w, "layout\tadmission\thit ratio\toffered\tflash written\tgc moved\tsystem WA\tdevice WA\tgarbage\terases\twear\tbypasses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%v\t%v\t%.1f%%\t%.2f MB\t%.2f MB\t%.2f MB\t%.3f\t%.3f\t%.1f%%\t%d\t%.3f\t%d\n",
+			r.Layout, r.Admission, r.HitRatioPct, r.OfferedMB, r.FlashMB, r.GCMB,
+			r.SystemWA, r.DeviceWA, r.GarbageRatioPct, r.SegmentErases, r.WearCycles,
+			r.AdmissionBypasses)
 	}
 	return w.Flush()
 }

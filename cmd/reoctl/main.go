@@ -10,6 +10,8 @@
 //	reoctl -addr 127.0.0.1:9700 query 0x10010
 //	reoctl -addr 127.0.0.1:9700 status 0x10010
 //	reoctl -addr 127.0.0.1:9700 stats
+//	reoctl -addr 127.0.0.1:9700 segments
+//	reoctl -addr 127.0.0.1:9700 tune gc.trigger 0.15
 //	reoctl -addr 127.0.0.1:9700 fail 0
 //	reoctl -addr 127.0.0.1:9700 spare 0
 //	reoctl -addr 127.0.0.1:9700 recover
@@ -50,7 +52,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing command (put|get|del|classify|query|status|stats|fail|spare|recover|cluster)")
+		return errors.New("missing command (put|get|del|classify|query|status|stats|segments|tune|fail|spare|recover|cluster)")
 	}
 	if rest[0] == "cluster" {
 		return runCluster(rest[1:], stdout)
@@ -189,6 +191,36 @@ func dispatch(client *transport.Client, args []string, stdin io.Reader, stdout i
 		fmt.Fprintf(stdout, "space efficiency: %.1f%%\n", stats.SpaceEfficiency*100)
 		fmt.Fprintf(stdout, "devices:          %d/%d alive\n", stats.AliveDevices, stats.TotalDevices)
 		fmt.Fprintf(stdout, "recovery:         active=%v queue=%d\n", stats.RecoveryActive, stats.RecoveryQueue)
+		return nil
+	case "segments":
+		stats, err := client.SegStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "dev  layout    state     segs  util    garbage  writtenMB  gcMB   erases  wear    WA\n")
+		for i, ds := range stats {
+			util := 0.0
+			if ds.CapacityBytes > 0 {
+				util = float64(ds.LiveBytes+ds.GarbageBytes) / float64(ds.CapacityBytes)
+			}
+			fmt.Fprintf(stdout, "%-4d %-9v %-9v %-5d %-7.1f%% %-7.1f%% %-10.2f %-6.2f %-7d %-7.4f %.3f\n",
+				i, ds.Layout, ds.State, ds.Segments, util*100, ds.GarbageRatio()*100,
+				float64(ds.BytesWritten)/(1<<20), float64(ds.GCBytesWritten)/(1<<20),
+				ds.SegmentErases, ds.WearCycles, ds.WriteAmp())
+		}
+		return nil
+	case "tune":
+		if len(rest) != 2 {
+			return errors.New("tune <gc.trigger|gc.target> <value>")
+		}
+		value, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad tune value %q", rest[1])
+		}
+		if err := client.Tune(rest[0], value); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tuned %s = %g\n", rest[0], value)
 		return nil
 	case "fail":
 		idx, err := oneIndex(rest, "fail")

@@ -118,6 +118,12 @@ func TestCLIEndToEnd(t *testing.T) {
 	if out, err := runCmd("", "stats"); err != nil || !strings.Contains(out, "space efficiency") {
 		t.Fatalf("stats: %q, %v", out, err)
 	}
+	if out, err := runCmd("", "segments"); err != nil || !strings.Contains(out, "in-place") {
+		t.Fatalf("segments: %q, %v", out, err)
+	}
+	if out, err := runCmd("", "tune", "gc.trigger", "0.2"); err != nil || !strings.Contains(out, "tuned gc.trigger = 0.2") {
+		t.Fatalf("tune: %q, %v", out, err)
+	}
 
 	// failure → spare → recover flow.
 	if out, err := runCmd("", "fail", "0"); err != nil || !strings.Contains(out, "failed") {
@@ -163,6 +169,9 @@ func TestCLIUsageErrors(t *testing.T) {
 		{"classify", "0x10010", "lukewarm"},
 		{"fail", "x"},
 		{"spare"},
+		{"tune"},
+		{"tune", "gc.trigger", "nope"},
+		{"tune", "gc.unknown", "0.5"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

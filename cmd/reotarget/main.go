@@ -41,6 +41,8 @@ func run(args []string) error {
 		capacity = fs.String("capacity", "128MiB", "per-device capacity (e.g. 64MiB, 1GiB)")
 		chunk    = fs.String("chunk", "64KiB", "stripe chunk size")
 		policyFl = fs.String("policy", "reo-20", "redundancy policy (reo-10|reo-20|reo-40|0-parity|1-parity|2-parity|full-replication)")
+		layoutFl = fs.String("flash-layout", "inplace", "flash write path: inplace or log (append-only segments with background GC)")
+		segment  = fs.String("segment", "0", "log-structured segment size (0 = capacity/64, clamped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,12 +60,30 @@ func run(args []string) error {
 		return err
 	}
 
+	var segBytes int64
+	if *segment != "0" {
+		segBytes, err = parseSize(*segment)
+		if err != nil {
+			return fmt.Errorf("segment: %w", err)
+		}
+	}
+	var layout flash.Layout
+	switch *layoutFl {
+	case "inplace":
+	case "log":
+		layout = flash.LayoutLog
+	default:
+		return fmt.Errorf("flash-layout %q (want inplace or log)", *layoutFl)
+	}
 	st, err := store.New(store.Config{
 		Devices:          *devices,
 		DeviceSpec:       flash.Intel540s(capBytes),
 		ChunkSize:        int(chunkBytes),
 		Policy:           pol,
 		RedundancyBudget: budget,
+		Layout:           layout,
+		LogConfig:        flash.LogConfig{SegmentBytes: segBytes},
+		BackgroundGC:     layout == flash.LayoutLog,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 	"github.com/reo-cache/reo/internal/store"
@@ -99,6 +100,45 @@ type Config struct {
 	// per refresh and a "reclass.bg" histogram of per-object background
 	// re-encode latency.
 	OpStats *metrics.OpHistogram
+	// Admission selects the flash-admission policy for clean misses.
+	// AdmitAll (the default) writes every miss to flash — the seed
+	// behavior. AdmitOnReuse gates each clean miss through a ghost-queue
+	// "seen-again" filter: only objects that have already missed
+	// AdmitMinHits times are worth a flash write; everything else is
+	// served straight through from the backend. Dirty writes are always
+	// admitted — write-back durability never depends on reuse prediction.
+	Admission AdmissionMode
+	// AdmitMinHits is the prior-miss count AdmitOnReuse requires before a
+	// clean miss earns a flash write. Zero defaults to 1 ("admit on the
+	// second miss").
+	AdmitMinHits int
+	// GhostCapacity bounds the admission filter's remembered IDs. Zero
+	// defaults to 16384.
+	GhostCapacity int
+}
+
+// AdmissionMode selects the flash-admission policy for clean misses.
+type AdmissionMode int
+
+// Admission modes.
+const (
+	// AdmitAll admits every clean miss (seed behavior).
+	AdmitAll AdmissionMode = iota
+	// AdmitOnReuse admits a clean miss only once the object has
+	// demonstrated reuse in the ghost filter (Flashield-style).
+	AdmitOnReuse
+)
+
+// String returns the mode name.
+func (a AdmissionMode) String() string {
+	switch a {
+	case AdmitAll:
+		return "admit-all"
+	case AdmitOnReuse:
+		return "admit-on-reuse"
+	default:
+		return "AdmissionMode(?)"
+	}
 }
 
 func (c *Config) applyDefaults() error {
@@ -180,6 +220,16 @@ type Stats struct {
 	AdmissionSkips int64
 	Reclassified   int64
 	LostObjects    int64
+
+	// AdmissionBypasses counts clean misses the write-aware gate served
+	// straight from the backend without a flash write (zero under
+	// AdmitAll). OfferedBytes is the payload volume of every admission
+	// candidate (clean misses plus dirty writes); AdmittedBytes is the
+	// share actually written to flash. FlashBytesWritten / OfferedBytes
+	// is the system-level write amplification the WA experiments report.
+	AdmissionBypasses int64
+	OfferedBytes      int64
+	AdmittedBytes     int64
 
 	// ReclassPending is the current backlog of the async reclassifier
 	// work-list (a gauge; zero when no refresh is in flight or in sync
@@ -264,6 +314,10 @@ type Manager struct {
 	refreshActive  bool
 	refreshDone    chan struct{}
 	reclassPending int64
+
+	// ghost is the write-aware admission filter (nil under AdmitAll).
+	// Guarded by mu like the entry map it shadows.
+	ghost *policy.GhostFilter
 }
 
 // New returns a cache manager over the given store and backend.
@@ -271,14 +325,33 @@ func New(cfg Config) (*Manager, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:       cfg,
 		entries:   make(map[osd.ObjectID]*entry),
 		fills:     make(map[osd.ObjectID]*fill),
 		lru:       list.New(),
 		dirtyList: list.New(),
 		hhot:      math.Inf(1), // everything cold until the first refresh
-	}, nil
+	}
+	if cfg.Admission == AdmitOnReuse {
+		m.ghost = policy.NewGhostFilter(cfg.AdmitMinHits, cfg.GhostCapacity)
+	}
+	return m, nil
+}
+
+// SetAdmission switches the admission policy at runtime. Enabling
+// AdmitOnReuse starts with an empty ghost (history is not retroactive);
+// disabling it drops the filter. minHits/ghostCapacity follow Config
+// semantics (zero picks the defaults).
+func (m *Manager) SetAdmission(mode AdmissionMode, minHits, ghostCapacity int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cfg.Admission = mode
+	if mode == AdmitOnReuse {
+		m.ghost = policy.NewGhostFilter(minHits, ghostCapacity)
+	} else {
+		m.ghost = nil
+	}
 }
 
 // netCost models the client link: RTT plus payload transfer.
@@ -426,11 +499,20 @@ func (m *Manager) ReadCtx(rc *reqctx.Ctx, id osd.ObjectID) (Result, error) {
 		Latency: backendCost + m.netCost(int64(len(data))),
 	}
 	if !m.disabledLocked() {
-		// Admission is best-effort background work: the client already has
-		// its data, so a cancellation inside admission is swallowed — the
-		// object simply is not cached this time.
-		cost, _ := m.admitLocked(rc, id, data, false)
-		res.Background += cost
+		m.stats.OfferedBytes += int64(len(data))
+		if m.ghost == nil || m.ghost.Admit(id) {
+			// Admission is best-effort background work: the client already
+			// has its data, so a cancellation inside admission is
+			// swallowed — the object simply is not cached this time.
+			cost, _ := m.admitLocked(rc, id, data, false)
+			res.Background += cost
+		} else {
+			// Write-aware bypass: the object has not demonstrated reuse,
+			// so it is not worth a flash write. The client was served from
+			// the backend; the miss is remembered in the ghost so a repeat
+			// miss admits it.
+			m.stats.AdmissionBypasses++
+		}
 	}
 	res.Background += m.maybeRefreshLocked()
 	m.mu.Unlock()
@@ -467,6 +549,7 @@ func (m *Manager) WriteCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte) (Result
 			Latency: cost + m.netCost(int64(len(data))),
 		}, nil
 	}
+	m.stats.OfferedBytes += int64(len(data))
 	cost, admitErr := m.admitLocked(rc, id, data, true)
 	if admitErr != nil {
 		// Cancelled mid-admission. The store left either the previous
@@ -562,6 +645,7 @@ func (m *Manager) admitLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, dirt
 			e := &entry{id: id, size: int64(len(data)), freq: 1, dirty: dirty, class: class}
 			e.elem = m.lru.PushFront(e)
 			m.entries[id] = e
+			m.stats.AdmittedBytes += e.size
 			if dirty {
 				m.dirtyBytes += e.size
 				e.dirtyElem = m.dirtyList.PushFront(e)
@@ -619,6 +703,12 @@ func (m *Manager) evictOneLocked() (time.Duration, bool) {
 		m.dropEntryLocked(e)
 		_ = m.cfg.Store.Delete(e.id)
 		m.stats.Evictions++
+		if m.ghost != nil {
+			// The victim demonstrated reuse once to get admitted; remember
+			// it pre-credited so a single re-miss readmits it instead of
+			// making it re-earn its history.
+			m.ghost.NoteEvicted(e.id)
+		}
 		return total, true
 	}
 }

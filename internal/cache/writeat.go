@@ -54,6 +54,8 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 			cost, err := m.cfg.Store.WriteRangeCtx(rc, id, offset, data)
 			switch {
 			case err == nil:
+				m.stats.OfferedBytes += int64(len(data))
+				m.stats.AdmittedBytes += int64(len(data))
 				if !e.dirty {
 					e.dirty = true
 					m.dirtyBytes += e.size
@@ -98,6 +100,7 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 				}
 				m.dropEntryLocked(e)
 				_ = m.cfg.Store.DeleteCtx(rc, id)
+				m.stats.OfferedBytes += int64(len(merged))
 				cost, admitErr := m.admitLocked(rc, id, merged, true)
 				m.mu.Unlock()
 				if admitErr != nil {
@@ -136,6 +139,7 @@ func (m *Manager) WriteAtCtx(rc *reqctx.Ctx, id osd.ObjectID, offset int64, data
 			continue
 		}
 		m.stats.Misses++
+		m.stats.OfferedBytes += int64(len(full))
 		cost, admitErr := m.admitLocked(rc, id, full, true)
 		if admitErr != nil {
 			m.mu.Unlock()

@@ -142,11 +142,18 @@ func Intel540s(capacity int64) Spec {
 }
 
 // Stats aggregates a device's IO counters since it was created or replaced.
+// BytesWritten counts every flash write (host writes plus GC relocation);
+// the host-written share is BytesWritten - GCBytesWritten, which makes
+// device write amplification BytesWritten / (BytesWritten - GCBytesWritten).
 type Stats struct {
 	ReadOps      int64
-	WriteOps     int64
+	WriteOps     int64 // host write operations (GC relocation not counted)
 	BytesRead    int64
 	BytesWritten int64
+	// Log-layout counters; zero under LayoutInPlace.
+	GCBytesWritten  int64 // bytes rewritten by segment GC relocation
+	SegmentErases   int64 // victim segments erased
+	TombstonedBytes int64 // cumulative bytes invalidated by overwrite/delete
 }
 
 // Retry policy for transient faults: bounded exponential backoff with
@@ -173,6 +180,10 @@ type Device struct {
 	generation int
 	hook       FaultHook
 	health     healthState
+	// layout selects in-place (seed) vs log-structured writes; log is the
+	// per-segment bookkeeping, only populated under LayoutLog.
+	layout Layout
+	log    logState
 }
 
 // NewDevice returns a healthy, empty device with the given spec.
@@ -244,15 +255,28 @@ func (d *Device) Free() int64 {
 	return d.spec.CapacityBytes - d.used
 }
 
-// WearCycles estimates consumed program/erase cycles as full-device writes:
-// total bytes written divided by capacity. The paper motivates Reo with
-// flash's 1,000–5,000 P/E cycle budget; this counter lets experiments report
-// write amplification per policy.
+// WearCycles reports consumed program/erase cycles. Under LayoutLog it is
+// exact erase-equivalent wear: segments erased times segment size over
+// capacity — the only operation that costs an erase cycle is a segment
+// erase, so a freshly filled device has zero wear until GC reclaims
+// something. Under LayoutInPlace it keeps the seed estimate (total bytes
+// written over capacity: every in-place overwrite is modelled as an
+// erase+program of its own footprint). The paper motivates Reo with flash's
+// 1,000–5,000 P/E cycle budget; this counter lets experiments report wear
+// per policy.
 func (d *Device) WearCycles() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.wearCyclesLocked()
+}
+
+func (d *Device) wearCyclesLocked() float64 {
 	if d.spec.CapacityBytes == 0 {
 		return 0
+	}
+	if d.layout == LayoutLog {
+		return float64(d.stats.SegmentErases) * float64(d.log.cfg.SegmentBytes) /
+			float64(d.spec.CapacityBytes)
 	}
 	return float64(d.stats.BytesWritten) / float64(d.spec.CapacityBytes)
 }
@@ -308,11 +332,36 @@ func (d *Device) writeOnce(addr ChunkAddr, data []byte) (time.Duration, error) {
 		return scaleCost(d.spec.WriteLatency, dec.LatencyScale), dec.Err
 	}
 	old, exists := d.data[addr]
-	newUsed := d.used + int64(len(data))
+	n := int64(len(data))
+	newUsed := d.used + n
 	if exists {
 		newUsed -= int64(len(old))
 	}
-	if newUsed > d.spec.CapacityBytes {
+	if d.layout == LayoutLog {
+		// Host writes see capacity minus the overprovisioning reserve; the
+		// reserve keeps GC able to relocate a victim even when logically
+		// full. Logical fullness (live bytes) surfaces as ErrDeviceFull so
+		// the store's evict-and-retry loop behaves exactly as in-place.
+		if newUsed > d.hostCapLocked() {
+			return 0, ErrDeviceFull
+		}
+		// Physical fullness (live + dead bytes) is reclaimed inline when
+		// the background collector hasn't kept up. Inline GC charges no
+		// virtual time, so replay costs stay independent of collector
+		// scheduling.
+		for d.used+d.log.garbage+n > d.spec.CapacityBytes {
+			if _, ok := d.collectOnceLocked(true); !ok {
+				break
+			}
+		}
+		if d.used+d.log.garbage+n > d.spec.CapacityBytes {
+			return 0, ErrDeviceFull
+		}
+		if exists {
+			d.tombstoneLocked(addr)
+		}
+		d.appendChunkLocked(addr, n)
+	} else if newUsed > d.spec.CapacityBytes {
 		return 0, ErrDeviceFull
 	}
 	buf := make([]byte, len(data))
@@ -321,8 +370,8 @@ func (d *Device) writeOnce(addr ChunkAddr, data []byte) (time.Duration, error) {
 	d.crcs[addr] = crc32.Checksum(buf, castagnoli)
 	d.used = newUsed
 	d.stats.WriteOps++
-	d.stats.BytesWritten += int64(len(data))
-	cost := d.spec.WriteLatency + simclock.TransferTime(int64(len(data)), d.spec.WriteBandwidth)
+	d.stats.BytesWritten += n
+	cost := d.spec.WriteLatency + simclock.TransferTime(n, d.spec.WriteBandwidth)
 	d.recordOutcomeLocked(true, dec.LatencyScale, nil)
 	return scaleCost(cost, dec.LatencyScale), nil
 }
@@ -520,6 +569,11 @@ func (d *Device) Delete(addr ChunkAddr) error {
 
 func (d *Device) dropChunkLocked(addr ChunkAddr) {
 	if old, ok := d.data[addr]; ok {
+		if d.layout == LayoutLog {
+			// The chunk's bytes stay physically occupied (dead) in their
+			// segment until GC erases it.
+			d.tombstoneLocked(addr)
+		}
 		d.used -= int64(len(old))
 		delete(d.data, addr)
 		delete(d.crcs, addr)
@@ -591,6 +645,9 @@ func (d *Device) failLocked(reason string) {
 	d.data = make(map[ChunkAddr][]byte)
 	d.crcs = make(map[ChunkAddr]uint32)
 	d.used = 0
+	if d.layout == LayoutLog {
+		d.log.reset()
+	}
 	if d.health.failReason == "" {
 		d.health.failReason = reason
 	}
@@ -607,6 +664,9 @@ func (d *Device) Replace() {
 	d.crcs = make(map[ChunkAddr]uint32)
 	d.used = 0
 	d.stats = Stats{}
+	if d.layout == LayoutLog {
+		d.log.reset()
+	}
 	d.health = newHealthState()
 	d.generation++
 }
@@ -619,12 +679,18 @@ type Array struct {
 
 // NewArray returns an array of n fresh devices sharing one spec.
 func NewArray(n int, spec Spec) (*Array, error) {
+	return NewArrayLayout(n, spec, LayoutInPlace, LogConfig{})
+}
+
+// NewArrayLayout returns an array of n fresh devices sharing one spec and
+// one physical layout.
+func NewArrayLayout(n int, spec Spec, layout Layout, cfg LogConfig) (*Array, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("flash: array size %d must be positive", n)
 	}
 	devices := make([]*Device, n)
 	for i := range devices {
-		devices[i] = NewDevice(spec)
+		devices[i] = NewDeviceLayout(spec, layout, cfg)
 	}
 	return &Array{devices: devices}, nil
 }

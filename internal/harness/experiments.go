@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/metrics"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/store"
@@ -44,6 +45,18 @@ type Options struct {
 	// default: golden outputs assume the deterministic synchronous
 	// refresh.
 	AsyncReclass bool
+	// Layout selects the flash write path for every system the experiment
+	// builds (reobench -flash-layout). Zero keeps the in-place seed path,
+	// so golden outputs are unaffected.
+	Layout flash.Layout
+	// SegmentBytes sets the log-structured segment size (0 = default).
+	SegmentBytes int64
+	// BackgroundGC enables background segment collection (log layout).
+	BackgroundGC bool
+	// Admission selects the clean-miss admission gate (reobench
+	// -admission); AdmitMinHits tunes its reuse threshold (0 = 1).
+	Admission    cache.AdmissionMode
+	AdmitMinHits int
 }
 
 // runConfig stamps the option-level instrumentation and request-lifecycle
@@ -59,6 +72,11 @@ func (o Options) runConfig(cfg RunConfig) RunConfig {
 func (o Options) systemConfig(cfg SystemConfig) SystemConfig {
 	cfg.AsyncReclass = o.AsyncReclass
 	cfg.OpStats = o.OpStats
+	cfg.Layout = o.Layout
+	cfg.SegmentBytes = o.SegmentBytes
+	cfg.BackgroundGC = o.BackgroundGC
+	cfg.Admission = o.Admission
+	cfg.AdmitMinHits = o.AdmitMinHits
 	return cfg
 }
 
@@ -712,3 +730,116 @@ func (o Options) metadataSize() int {
 	}
 	return s
 }
+
+// WriteAmpRow is one configuration of the write-amplification comparison:
+// a flash layout × admission-gate combination replayed over the tiny-object
+// high-churn trace.
+type WriteAmpRow struct {
+	Layout    flash.Layout
+	Admission cache.AdmissionMode
+	// HitRatioPct is the read hit ratio over the measured run.
+	HitRatioPct float64
+	// OfferedMB is user payload bytes offered for caching (clean misses +
+	// dirty writes); FlashMB is every byte programmed into flash (data,
+	// parity, GC relocation); GCMB is the GC-relocated share.
+	OfferedMB float64
+	FlashMB   float64
+	GCMB      float64
+	// SystemWA is FlashMB/OfferedMB — flash bytes programmed per user byte
+	// offered. DeviceWA is flash bytes per host-written byte (GC's own
+	// amplification; 1.0 when nothing relocates).
+	SystemWA float64
+	DeviceWA float64
+	// GarbageRatioPct, SegmentErases, WearCycles describe the log layout's
+	// end-of-run state (zero under in-place).
+	GarbageRatioPct float64
+	SegmentErases   int64
+	WearCycles      float64
+	// AdmissionBypasses counts clean misses served through without a flash
+	// write.
+	AdmissionBypasses int64
+}
+
+// WriteAmplification replays the tiny-object churn trace under the four
+// {in-place, log-structured} × {admit-all, write-aware} combinations and
+// reports write-amplification and hit-ratio for each — the before/after
+// table showing what the log layout and the admission gate each buy.
+// The cache is sized well below the trace's full footprint so admit-all
+// keeps churning one-hit objects through flash.
+func WriteAmplification(opts Options) ([]WriteAmpRow, error) {
+	opts.applyDefaults()
+	objects := opts.Objects
+	if objects == 0 {
+		objects = 400
+	}
+	requests := opts.Requests
+	if requests == 0 {
+		requests = 30_000
+	}
+	tr, err := workload.Generate(workload.Tiny(objects, requests, 0.5, opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	type combo struct {
+		layout    flash.Layout
+		admission cache.AdmissionMode
+	}
+	combos := []combo{
+		{flash.LayoutInPlace, cache.AdmitAll},
+		{flash.LayoutInPlace, cache.AdmitOnReuse},
+		{flash.LayoutLog, cache.AdmitAll},
+		{flash.LayoutLog, cache.AdmitOnReuse},
+	}
+	rows := make([]WriteAmpRow, len(combos))
+	var tasks []func() error
+	for i, cb := range combos {
+		i, cb := i, cb
+		tasks = append(tasks, func() error {
+			cfg := opts.systemConfig(SystemConfig{
+				Policy:             policy.Reo{ParityBudget: 0.20},
+				CacheBytes:         tr.DatasetBytes / 8,
+				ChunkSize:          opts.chunk(64 << 10),
+				MetadataObjectSize: opts.metadataSize(),
+			})
+			cfg.Layout = cb.layout
+			cfg.BackgroundGC = cb.layout == flash.LayoutLog
+			cfg.Admission = cb.admission
+			sys, err := BuildSystem(cfg, tr)
+			if err != nil {
+				return err
+			}
+			res, err := Run(sys, tr, opts.runConfig(RunConfig{}))
+			if err != nil {
+				return fmt.Errorf("%v/%v: %w", cb.layout, cb.admission, err)
+			}
+			sys.Cache.WaitRefresh()
+			sys.Store.WaitGC()
+			cs := sys.Cache.Stats()
+			wa := sys.Store.WriteAmp()
+			row := WriteAmpRow{
+				Layout:            cb.layout,
+				Admission:         cb.admission,
+				HitRatioPct:       res.TotalReads.HitRatio * 100,
+				OfferedMB:         mb(cs.OfferedBytes),
+				FlashMB:           mb(wa.FlashBytesWritten),
+				GCMB:              mb(wa.GCBytesWritten),
+				DeviceWA:          wa.DeviceWriteAmp(),
+				GarbageRatioPct:   wa.GarbageRatio() * 100,
+				SegmentErases:     wa.SegmentErases,
+				WearCycles:        wa.WearCycles,
+				AdmissionBypasses: cs.AdmissionBypasses,
+			}
+			if cs.OfferedBytes > 0 {
+				row.SystemWA = float64(wa.FlashBytesWritten) / float64(cs.OfferedBytes)
+			}
+			rows[i] = row
+			return nil
+		})
+	}
+	if err := runParallel(opts.Parallelism, tasks); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -60,6 +60,19 @@ type SystemConfig struct {
 	// whenever it observes new device failures (health-monitor
 	// declarations included) — no InsertSpare/StartRecovery call needed.
 	AutoRecover bool
+	// Layout selects the flash write path: in-place (the default, the
+	// seed behaviour) or log-structured append-only segments.
+	Layout flash.Layout
+	// SegmentBytes sets the log-structured segment size (0 = default).
+	SegmentBytes int64
+	// BackgroundGC enables the background segment-collection episodes
+	// (log layout only; inline GC always runs regardless).
+	BackgroundGC bool
+	// Admission selects the clean-miss admission gate (default AdmitAll).
+	Admission cache.AdmissionMode
+	// AdmitMinHits and GhostCapacity tune the ghost filter (0 = defaults).
+	AdmitMinHits  int
+	GhostCapacity int
 }
 
 // System is a fully wired cache server plus its backend and virtual clock.
@@ -97,6 +110,9 @@ func BuildSystem(cfg SystemConfig, tr *workload.Trace) (*System, error) {
 		MetadataObjectSize:    cfg.MetadataObjectSize,
 		DisableParityRotation: cfg.DisableParityRotation,
 		AutoRecover:           cfg.AutoRecover,
+		Layout:                cfg.Layout,
+		LogConfig:             flash.LogConfig{SegmentBytes: cfg.SegmentBytes},
+		BackgroundGC:          cfg.BackgroundGC,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +133,9 @@ func BuildSystem(cfg SystemConfig, tr *workload.Trace) (*System, error) {
 		AsyncRefresh:     cfg.AsyncReclass,
 		ReclassWorkers:   cfg.ReclassWorkers,
 		OpStats:          cfg.OpStats,
+		Admission:        cfg.Admission,
+		AdmitMinHits:     cfg.AdmitMinHits,
+		GhostCapacity:    cfg.GhostCapacity,
 	})
 	if err != nil {
 		return nil, err
@@ -445,10 +464,25 @@ func replay(sys *System, tr *workload.Trace, cfg RunConfig, res *RunResult) erro
 			// An async refresh may still be applying class changes; settle
 			// it so the gauges below reflect the quiesced cache.
 			sys.Cache.WaitRefresh()
+			sys.Store.WaitGC()
 			cs := sys.Cache.Stats()
 			cfg.OpStats.SetGauge("cache.hhot", cs.Hhot)
 			cfg.OpStats.SetGauge("cache.reclass_pending", float64(cs.ReclassPending))
 			cfg.OpStats.SetGauge("cache.refresh_pauses", float64(cs.RefreshPauses))
+			cfg.OpStats.SetGauge("cache.admission_bypasses", float64(cs.AdmissionBypasses))
+			wa := sys.Store.WriteAmp()
+			cfg.OpStats.SetGauge("wa.flash_bytes", float64(wa.FlashBytesWritten))
+			cfg.OpStats.SetGauge("wa.gc_bytes", float64(wa.GCBytesWritten))
+			cfg.OpStats.SetGauge("wa.tombstoned_bytes", float64(wa.TombstonedBytes))
+			cfg.OpStats.SetGauge("wa.garbage_ratio", wa.GarbageRatio())
+			cfg.OpStats.SetGauge("wa.segment_erases", float64(wa.SegmentErases))
+			cfg.OpStats.SetGauge("wa.wear_cycles", wa.WearCycles)
+			cfg.OpStats.SetGauge("wa.device", wa.DeviceWriteAmp())
+			if cs.OfferedBytes > 0 {
+				// System-level WA: flash bytes programmed per user byte offered.
+				cfg.OpStats.SetGauge("wa.system",
+					float64(wa.FlashBytesWritten)/float64(cs.OfferedBytes))
+			}
 		}
 	}
 	return nil

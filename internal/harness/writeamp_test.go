@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/cache"
+	"github.com/reo-cache/reo/internal/flash"
+)
+
+func waRow(t *testing.T, rows []WriteAmpRow, layout flash.Layout, adm cache.AdmissionMode) WriteAmpRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Layout == layout && r.Admission == adm {
+			return r
+		}
+	}
+	t.Fatalf("no row for %v/%v", layout, adm)
+	return WriteAmpRow{}
+}
+
+// TestWriteAmplificationReduction is the PR's headline acceptance check:
+// log-structured layout + write-aware admission cuts flash bytes written
+// per user byte offered by ≥30% versus the in-place admit-all seed path on
+// the tiny-object churn trace, at an equal or better hit ratio.
+func TestWriteAmplificationReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays 4×12k tiny-object requests")
+	}
+	opts := Options{Scale: 1.0 / 512, Seed: 1, Objects: 300, Requests: 12_000, Parallelism: 4}
+	rows, err := WriteAmplification(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 layout×admission combos", len(rows))
+	}
+	seed := waRow(t, rows, flash.LayoutInPlace, cache.AdmitAll)
+	tuned := waRow(t, rows, flash.LayoutLog, cache.AdmitOnReuse)
+	for _, r := range rows {
+		t.Logf("%-9v %-14v hit=%5.1f%% offered=%6.2fMB flash=%6.2fMB gc=%5.2fMB sysWA=%5.3f devWA=%5.3f erases=%d bypass=%d",
+			r.Layout, r.Admission, r.HitRatioPct, r.OfferedMB, r.FlashMB, r.GCMB,
+			r.SystemWA, r.DeviceWA, r.SegmentErases, r.AdmissionBypasses)
+	}
+	if seed.SystemWA <= 0 || tuned.SystemWA <= 0 {
+		t.Fatalf("system WA not populated: seed=%v tuned=%v", seed.SystemWA, tuned.SystemWA)
+	}
+	reduction := 1 - tuned.SystemWA/seed.SystemWA
+	if reduction < 0.30 {
+		t.Errorf("WA reduction %.1f%% < 30%% (seed %.3f → tuned %.3f)",
+			reduction*100, seed.SystemWA, tuned.SystemWA)
+	}
+	if tuned.HitRatioPct < seed.HitRatioPct {
+		t.Errorf("hit ratio regressed: %.2f%% < %.2f%%", tuned.HitRatioPct, seed.HitRatioPct)
+	}
+	if tuned.AdmissionBypasses == 0 {
+		t.Error("write-aware run bypassed no admissions")
+	}
+	logAll := waRow(t, rows, flash.LayoutLog, cache.AdmitAll)
+	if logAll.SegmentErases == 0 {
+		t.Error("log-layout admit-all run erased no segments (GC never ran)")
+	}
+}

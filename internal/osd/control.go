@@ -22,6 +22,7 @@ import (
 const (
 	headerSetID = "#SETID#"
 	headerQuery = "#QUERY#"
+	headerTune  = "#TUNE#"
 )
 
 // OpType is the operation type carried by a query command.
@@ -80,8 +81,24 @@ func (c QueryCommand) Encode() []byte {
 		headerQuery, c.Object.PID, c.Object.OID, byte(c.Op), c.Offset, c.Size))
 }
 
+// TuneCommand adjusts one named runtime knob on the target (reoctl tune).
+// Keys are low-cardinality dotted names; the target rejects unknown keys.
+// Currently defined: "gc.trigger" and "gc.target" (log-layout garbage
+// -collection start/stop ratios as fractions of device capacity).
+type TuneCommand struct {
+	Key   string
+	Value float64
+}
+
+var _ ControlMessage = TuneCommand{}
+
+// Encode renders #TUNE#<key>#<value>.
+func (c TuneCommand) Encode() []byte {
+	return []byte(fmt.Sprintf("%s%s#%g", headerTune, c.Key, c.Value))
+}
+
 // DecodeControlMessage parses a message written to the communication object.
-// It returns a SetIDCommand or a QueryCommand.
+// It returns a SetIDCommand, QueryCommand, or TuneCommand.
 func DecodeControlMessage(raw []byte) (ControlMessage, error) {
 	s := string(raw)
 	switch {
@@ -89,9 +106,26 @@ func DecodeControlMessage(raw []byte) (ControlMessage, error) {
 		return decodeSetID(strings.TrimPrefix(s, headerSetID))
 	case strings.HasPrefix(s, headerQuery):
 		return decodeQuery(strings.TrimPrefix(s, headerQuery))
+	case strings.HasPrefix(s, headerTune):
+		return decodeTune(strings.TrimPrefix(s, headerTune))
 	default:
 		return nil, fmt.Errorf("%w: unknown header in %q", ErrBadMessage, truncate(s))
 	}
+}
+
+func decodeTune(body string) (ControlMessage, error) {
+	fields := strings.Split(body, "#")
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("%w: TUNE wants 2 fields, got %d", ErrBadMessage, len(fields))
+	}
+	if fields[0] == "" {
+		return nil, fmt.Errorf("%w: TUNE key is empty", ErrBadMessage)
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: TUNE value %q", ErrBadMessage, fields[1])
+	}
+	return TuneCommand{Key: fields[0], Value: v}, nil
 }
 
 func decodeSetID(body string) (ControlMessage, error) {

@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+)
+
+func oid(n uint64) osd.ObjectID {
+	return osd.ObjectID{PID: osd.FirstPID, OID: osd.FirstUserOID + n}
+}
+
+func TestGhostFilterSeenAgain(t *testing.T) {
+	g := NewGhostFilter(1, 100)
+	if g.Admit(oid(1)) {
+		t.Fatal("first miss must not admit")
+	}
+	if !g.Admit(oid(1)) {
+		t.Fatal("second miss must admit (MinHits=1)")
+	}
+	// Admission forgets the id: the cycle restarts.
+	if g.Admit(oid(1)) {
+		t.Fatal("post-admission miss must start over")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestGhostFilterMinHitsThreshold(t *testing.T) {
+	g := NewGhostFilter(3, 100)
+	for i := 0; i < 3; i++ {
+		if g.Admit(oid(7)) {
+			t.Fatalf("miss %d admitted before threshold", i+1)
+		}
+	}
+	if !g.Admit(oid(7)) {
+		t.Fatal("miss 4 must admit with MinHits=3")
+	}
+}
+
+func TestGhostFilterCapacityLRU(t *testing.T) {
+	g := NewGhostFilter(1, 2)
+	g.Admit(oid(1))
+	g.Admit(oid(2))
+	g.Admit(oid(3)) // evicts oid(1) from the ghost
+	if g.Len() != 2 {
+		t.Fatalf("len = %d, want 2", g.Len())
+	}
+	if g.Admit(oid(1)) {
+		t.Fatal("ghost-evicted id must be treated as never seen")
+	}
+	// oid(3) was most recently missed and survives.
+	if !g.Admit(oid(3)) {
+		t.Fatal("resident ghost id must admit on second miss")
+	}
+}
+
+func TestGhostFilterNoteEvicted(t *testing.T) {
+	g := NewGhostFilter(2, 100)
+	g.NoteEvicted(oid(9))
+	if !g.Admit(oid(9)) {
+		t.Fatal("flash-evicted object must readmit on its next miss")
+	}
+	// Pre-crediting an id already in the ghost works too.
+	g.Admit(oid(4))
+	g.NoteEvicted(oid(4))
+	if !g.Admit(oid(4)) {
+		t.Fatal("pre-credited resident ghost id must readmit")
+	}
+}
+
+func TestGhostFilterDefaults(t *testing.T) {
+	g := NewGhostFilter(0, 0)
+	if g.MinHits != 1 || g.Capacity != 16384 {
+		t.Fatalf("defaults: %+v", g)
+	}
+}

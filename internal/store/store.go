@@ -96,6 +96,18 @@ type Config struct {
 	// InsertSpare/StartRecovery call needed. The rebuild queue is still
 	// drained by RecoverStep, so callers control when recovery IO runs.
 	AutoRecover bool
+	// Layout selects the devices' physical write organisation. The default
+	// (LayoutInPlace) is the seed behavior; LayoutLog turns every device
+	// into an append-only segment log with tombstones and segment GC.
+	Layout flash.Layout
+	// LogConfig tunes segment size, overprovisioning, and GC thresholds
+	// under LayoutLog. Zero values pick defaults.
+	LogConfig flash.LogConfig
+	// BackgroundGC runs segment collection in a background episode that
+	// yields to on-demand traffic (see gc.go). Without it devices still
+	// reclaim garbage inline when physically full — background GC only
+	// hides that work off the write path.
+	BackgroundGC bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -164,6 +176,9 @@ type Store struct {
 	// holding the lock can see the demand and yield between objects
 	// (§IV.D: on-demand requests run ahead of background rebuild).
 	onDemand atomic.Int64
+
+	// gcActive guards the single background segment-GC episode (gc.go).
+	gcActive atomic.Bool
 }
 
 // trackOnDemand registers an in-flight on-demand request for the duration of
@@ -219,7 +234,7 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	array, err := flash.NewArray(cfg.Devices, cfg.DeviceSpec)
+	array, err := flash.NewArrayLayout(cfg.Devices, cfg.DeviceSpec, cfg.Layout, cfg.LogConfig)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +297,7 @@ func (s *Store) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.C
 		return 0, err
 	}
 	defer s.autoRecoverCheck()
+	defer s.gcCheck()
 	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -470,8 +486,11 @@ func (s *Store) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (buf *bufpool.Buf, cost 
 	return buf, cost, degraded, nil
 }
 
-// Delete removes the object and frees its stripes.
+// Delete removes the object and frees its stripes. Under the log layout
+// the freed chunks become tombstones, so the deferred check can kick off a
+// background collection episode.
 func (s *Store) Delete(id osd.ObjectID) error {
+	defer s.gcCheck()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obj, ok := s.objects[id]
@@ -812,6 +831,11 @@ func (s *Store) Control(raw []byte) (osd.SenseCode, error) {
 		return osd.SenseOK, nil
 	case osd.QueryCommand:
 		return s.query(cmd), nil
+	case osd.TuneCommand:
+		if err := s.tune(cmd); err != nil {
+			return osd.SenseFailure, err
+		}
+		return osd.SenseOK, nil
 	default:
 		return osd.SenseFailure, fmt.Errorf("store: unhandled control message %T", msg)
 	}

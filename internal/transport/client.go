@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
@@ -597,6 +598,33 @@ func (c *Client) ListCtx(rc *reqctx.Ctx) ([]osd.Info, error) {
 		return nil, err
 	}
 	return decodeInventory(resp.Payload)
+}
+
+// SegStats fetches the target's per-device segment-layout snapshot: layout,
+// segment occupancy, garbage, and write-amplification counters in slot
+// order. Meaningful fields are a subset under the in-place layout (host
+// write counters and wear only).
+func (c *Client) SegStats() ([]flash.SegmentStats, error) {
+	resp, frame, err := c.roundTripFrame(nil, Request{Op: OpSegStats})
+	if err != nil {
+		return nil, err
+	}
+	defer releaseFrame(frame)
+	if err := senseError(resp); err != nil {
+		return nil, err
+	}
+	return decodeSegStats(resp.Payload)
+}
+
+// Tune sets one named target-side knob (e.g. "gc.trigger", "gc.target") via
+// a #TUNE# control message.
+func (c *Client) Tune(key string, value float64) error {
+	msg := osd.TuneCommand{Key: key, Value: value}.Encode()
+	resp, err := c.roundTrip(nil, Request{Op: OpControl, Payload: []byte(msg)})
+	if err != nil {
+		return err
+	}
+	return senseError(resp)
 }
 
 // FailDevice injects a device failure (the shootdown channel of §VI.C).

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/osd"
 )
 
@@ -39,6 +40,7 @@ const (
 	OpPolicy
 	OpWriteRange
 	OpList
+	OpSegStats
 )
 
 // String returns the op name.
@@ -72,6 +74,8 @@ func (o Op) String() string {
 		return "write-range"
 	case OpList:
 		return "list"
+	case OpSegStats:
+		return "seg-stats"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -255,7 +259,7 @@ func decodeRequestInPlace(body []byte) (Request, error) {
 		return Request{}, ErrShortFrame
 	}
 	op := Op(body[0])
-	if op < OpPut || op > OpList {
+	if op < OpPut || op > OpSegStats {
 		return Request{}, fmt.Errorf("%w: %d", ErrUnknownOp, body[0])
 	}
 	req := Request{
@@ -445,6 +449,60 @@ func decodeInventory(payload []byte) ([]osd.Info, error) {
 			Size:  int64(binary.BigEndian.Uint64(e[16:24])),
 			Class: osd.Class(e[24]),
 			Dirty: e[25] != 0,
+		})
+	}
+	return out, nil
+}
+
+// segStatsEntrySize is the fixed wire size of one OpSegStats per-device
+// entry: layout, state, capacity, segment size, segment count, open fill,
+// live, garbage, written, GC written, tombstoned, erases, wear.
+const segStatsEntrySize = 1 + 1 + 8 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8
+
+// encodeSegStats renders an OpSegStats response payload: a packed array of
+// per-device entries in slot order, count implied by the payload length.
+func encodeSegStats(stats []flash.SegmentStats) []byte {
+	out := make([]byte, 0, len(stats)*segStatsEntrySize)
+	for _, st := range stats {
+		out = append(out, byte(st.Layout), byte(st.State))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.CapacityBytes))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.SegmentBytes))
+		out = binary.BigEndian.AppendUint32(out, uint32(st.Segments))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.OpenFill))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.LiveBytes))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.GarbageBytes))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.BytesWritten))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.GCBytesWritten))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.TombstonedBytes))
+		out = binary.BigEndian.AppendUint64(out, uint64(st.SegmentErases))
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(st.WearCycles))
+	}
+	return out
+}
+
+// decodeSegStats parses an OpSegStats response payload.
+func decodeSegStats(payload []byte) ([]flash.SegmentStats, error) {
+	if len(payload)%segStatsEntrySize != 0 {
+		return nil, fmt.Errorf("%w: seg-stats payload %d bytes, not a multiple of %d",
+			ErrShortFrame, len(payload), segStatsEntrySize)
+	}
+	out := make([]flash.SegmentStats, 0, len(payload)/segStatsEntrySize)
+	for off := 0; off < len(payload); off += segStatsEntrySize {
+		e := payload[off : off+segStatsEntrySize]
+		out = append(out, flash.SegmentStats{
+			Layout:          flash.Layout(e[0]),
+			State:           flash.State(e[1]),
+			CapacityBytes:   int64(binary.BigEndian.Uint64(e[2:10])),
+			SegmentBytes:    int64(binary.BigEndian.Uint64(e[10:18])),
+			Segments:        int(binary.BigEndian.Uint32(e[18:22])),
+			OpenFill:        int64(binary.BigEndian.Uint64(e[22:30])),
+			LiveBytes:       int64(binary.BigEndian.Uint64(e[30:38])),
+			GarbageBytes:    int64(binary.BigEndian.Uint64(e[38:46])),
+			BytesWritten:    int64(binary.BigEndian.Uint64(e[46:54])),
+			GCBytesWritten:  int64(binary.BigEndian.Uint64(e[54:62])),
+			TombstonedBytes: int64(binary.BigEndian.Uint64(e[62:70])),
+			SegmentErases:   int64(binary.BigEndian.Uint64(e[70:78])),
+			WearCycles:      math.Float64frombits(binary.BigEndian.Uint64(e[78:86])),
 		})
 	}
 	return out, nil

@@ -382,6 +382,8 @@ func (s *Server) dispatch(req Request) (Response, *bufpool.Buf) {
 		return senseResponse(err, Response{Cost: cost}), nil
 	case OpList:
 		return Response{Sense: osd.SenseOK, Payload: encodeInventory(s.st.ListObjects())}, nil
+	case OpSegStats:
+		return Response{Sense: osd.SenseOK, Payload: encodeSegStats(s.st.SegmentStats())}, nil
 	default:
 		return Response{Sense: osd.SenseFailure, Message: fmt.Sprintf("unhandled op %v", req.Op)}, nil
 	}

@@ -103,6 +103,13 @@ type Config struct {
 	// WriteRatio is the fraction of requests that are writes (0 for the
 	// read-only experiments, 0.1–0.5 for §VI.D).
 	WriteRatio float64
+	// Churn is the fraction of requests that touch a brand-new, never
+	// repeated object (a "one-hit wonder"). Churn objects are appended to
+	// Sizes beyond the first Objects entries, drawn from the same size
+	// distribution, and each is read exactly once — the population an
+	// admission filter should keep off flash. Zero (the default) disables
+	// churn and leaves traces byte-identical to earlier versions.
+	Churn float64
 	// Seed makes the trace deterministic.
 	Seed int64
 }
@@ -119,6 +126,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.WriteRatio < 0 || c.WriteRatio > 1 {
 		return fmt.Errorf("workload: write ratio %v out of [0,1]", c.WriteRatio)
+	}
+	if c.Churn < 0 || c.Churn > 1 {
+		return fmt.Errorf("workload: churn %v out of [0,1]", c.Churn)
 	}
 	if c.SizeSigma == 0 {
 		c.SizeSigma = 0.7
@@ -161,6 +171,9 @@ type Trace struct {
 	TotalBytes int64
 	// Reads and Writes count request types.
 	Reads, Writes int
+	// ChurnObjects counts the one-hit objects appended beyond
+	// Config.Objects (len(Sizes) = Config.Objects + ChurnObjects).
+	ChurnObjects int
 }
 
 // Generate synthesises a trace.
@@ -187,7 +200,23 @@ func Generate(cfg Config) (*Trace, error) {
 	}
 	tr.Requests = make([]Request, cfg.Requests)
 	versions := make([]int, cfg.Objects)
+	// mu for on-the-fly churn sizes, matching lognormalSizes' parameters.
+	churnMu := math.Log(float64(cfg.MeanObjectSize)) - cfg.SizeSigma*cfg.SizeSigma/2
 	for i := range tr.Requests {
+		if cfg.Churn > 0 && rng.Float64() < cfg.Churn {
+			s := int64(math.Exp(churnMu + cfg.SizeSigma*rng.NormFloat64()))
+			if s < 1 {
+				s = 1
+			}
+			obj := len(tr.Sizes)
+			tr.Sizes = append(tr.Sizes, s)
+			tr.DatasetBytes += s
+			tr.ChurnObjects++
+			tr.Reads++
+			tr.Requests[i] = Request{Object: obj}
+			tr.TotalBytes += s
+			continue
+		}
 		obj := rankToObject[sampler.next()]
 		write := rng.Float64() < cfg.WriteRatio
 		if write {
@@ -265,6 +294,25 @@ func (z *zipfSampler) next() int {
 // factor (scale 1.0 = the paper's 4.4MB mean objects; experiments typically
 // run at 1/64 to keep the 17GB data set in memory). writeRatio is zero for
 // the read-only experiments.
+// Tiny returns the tiny-object, high-churn configuration used by the
+// write-amplification experiments: sub-KB lognormal sizes (512B mean,
+// wide 0.9 sigma) over a modest popular population, with churn fraction
+// of the requests hitting brand-new one-hit objects. This is the
+// metadata/small-object regime where admission filtering pays: every
+// one-hit admission costs a full flash write (plus later GC relocation
+// traffic) and can never produce a hit.
+func Tiny(objects, requests int, churn float64, seed int64) Config {
+	return Config{
+		Objects:        objects,
+		MeanObjectSize: 512,
+		SizeSigma:      0.9,
+		Requests:       requests,
+		Locality:       Medium,
+		Churn:          churn,
+		Seed:           seed,
+	}
+}
+
 func Paper(loc Locality, scale, writeRatio float64, seed int64) Config {
 	mean := int64(4.4e6 * scale)
 	if mean < 1 {

@@ -214,3 +214,79 @@ func TestLocalityStrings(t *testing.T) {
 		t.Fatal("unknown locality should default to medium skew")
 	}
 }
+
+func TestChurnTraceAppendsOneHitObjects(t *testing.T) {
+	tr, err := Generate(Tiny(200, 5000, 0.4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ChurnObjects == 0 {
+		t.Fatal("churn 0.4 produced no churn objects")
+	}
+	if got, want := len(tr.Sizes), tr.Config.Objects+tr.ChurnObjects; got != want {
+		t.Fatalf("len(Sizes) = %d, want Objects+ChurnObjects = %d", got, want)
+	}
+	frac := float64(tr.ChurnObjects) / float64(len(tr.Requests))
+	if frac < 0.3 || frac > 0.5 {
+		t.Fatalf("churn fraction %.3f far from configured 0.4", frac)
+	}
+	// Every churn object is touched exactly once, and only by reads.
+	seen := make(map[int]int)
+	for _, r := range tr.Requests {
+		if r.Object >= tr.Config.Objects {
+			if r.Write {
+				t.Fatalf("churn object %d got a write", r.Object)
+			}
+			seen[r.Object]++
+		}
+	}
+	if len(seen) != tr.ChurnObjects {
+		t.Fatalf("saw %d distinct churn objects, want %d", len(seen), tr.ChurnObjects)
+	}
+	for obj, n := range seen {
+		if n != 1 {
+			t.Fatalf("churn object %d accessed %d times, want 1", obj, n)
+		}
+	}
+	// Sub-KB regime: mean size well under a kilobyte.
+	var total int64
+	for _, s := range tr.Sizes {
+		total += s
+	}
+	if mean := total / int64(len(tr.Sizes)); mean > 1024 {
+		t.Fatalf("mean object size %dB, want sub-KB", mean)
+	}
+}
+
+func TestZeroChurnKeepsTracesByteIdentical(t *testing.T) {
+	base := Config{Objects: 100, MeanObjectSize: 4096, Requests: 2000, Locality: Medium, Seed: 11}
+	a, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withField := base
+	withField.Churn = 0
+	b, err := Generate(withField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChurnObjects != 0 || b.ChurnObjects != 0 {
+		t.Fatal("zero churn generated churn objects")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs with Churn field present", i)
+		}
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	cfg := Tiny(10, 10, 1.5, 1)
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("churn > 1 accepted")
+	}
+	cfg.Churn = -0.1
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("negative churn accepted")
+	}
+}

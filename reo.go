@@ -77,6 +77,15 @@ type Result = cache.Result
 // Stats aggregates cache activity counters.
 type Stats = cache.Stats
 
+// AdmissionMode selects how clean misses are admitted to flash.
+type AdmissionMode = cache.AdmissionMode
+
+// Admission modes for WithWriteAwareAdmission / Cache.SetAdmission.
+const (
+	AdmitAll     = cache.AdmitAll
+	AdmitOnReuse = cache.AdmitOnReuse
+)
+
 // Policy maps object classes to redundancy schemes.
 type Policy = policy.Policy
 
@@ -114,6 +123,12 @@ type config struct {
 	asyncReclass     bool
 	reclassWorkers   int
 	autoRecover      bool
+	layout           flash.Layout
+	segmentBytes     int64
+	backgroundGC     bool
+	admission        cache.AdmissionMode
+	admitMinHits     int
+	ghostCapacity    int
 }
 
 // Option customises a Cache.
@@ -164,6 +179,41 @@ func WithAsyncReclassification(workers int) Option {
 	return func(c *config) {
 		c.asyncReclass = true
 		c.reclassWorkers = workers
+	}
+}
+
+// WithLogStructuredFlash switches the flash devices from in-place chunk
+// writes to an append-only segmented layout: chunks are packed into open
+// segments, overwrites and deletes tombstone the old copy, and a
+// segment-granular collector erases the garbage-heaviest segments,
+// relocating only live chunks. Collection runs inline when a device is
+// physically full and in a background episode (yielding to on-demand
+// traffic) once a device's garbage crosses its trigger ratio. segmentBytes
+// sets the segment size; <= 0 selects the default (capacity/64, clamped to
+// [4KiB, 4MiB]). GC charges no virtual time, so serial-run results remain
+// byte-comparable with the in-place layout; wear and write-amplification
+// counters (Cache.WriteAmp, Cache.SegmentStats) are its observable output.
+func WithLogStructuredFlash(segmentBytes int64) Option {
+	return func(c *config) {
+		c.layout = flash.LayoutLog
+		c.segmentBytes = segmentBytes
+		c.backgroundGC = true
+	}
+}
+
+// WithWriteAwareAdmission gates clean-miss admission on reuse: an object
+// missed for the first time is served straight through from the backend and
+// remembered in a ghost queue; only after minHits further misses is it
+// written to flash (Flashield-style "seen-again" filtering). Dirty writes
+// are always admitted — write-back durability cannot be bypassed. minHits
+// <= 0 selects 1; ghostCapacity <= 0 selects 16384 remembered IDs. This
+// trades cold-miss latency for flash lifetime: one-hit wonders never cost a
+// flash write.
+func WithWriteAwareAdmission(minHits, ghostCapacity int) Option {
+	return func(c *config) {
+		c.admission = cache.AdmitOnReuse
+		c.admitMinHits = minHits
+		c.ghostCapacity = ghostCapacity
 	}
 }
 
@@ -227,6 +277,9 @@ func New(opts ...Option) (*Cache, error) {
 		RecoveryOrder:      cfg.recoveryOrder,
 		MetadataObjectSize: cfg.metadataSize,
 		AutoRecover:        cfg.autoRecover,
+		Layout:             cfg.layout,
+		LogConfig:          flash.LogConfig{SegmentBytes: cfg.segmentBytes},
+		BackgroundGC:       cfg.backgroundGC,
 	})
 	if err != nil {
 		return nil, err
@@ -241,6 +294,9 @@ func New(opts ...Option) (*Cache, error) {
 		MaxDirtyFraction: cfg.maxDirtyFraction,
 		AsyncRefresh:     cfg.asyncReclass,
 		ReclassWorkers:   cfg.reclassWorkers,
+		Admission:        cfg.admission,
+		AdmitMinHits:     cfg.admitMinHits,
+		GhostCapacity:    cfg.ghostCapacity,
 	})
 	if err != nil {
 		return nil, err
@@ -490,3 +546,33 @@ func (c *Cache) Elapsed() time.Duration { return c.clock.Now() }
 
 // PolicyName returns the active policy's label (e.g. "Reo-20%").
 func (c *Cache) PolicyName() string { return c.store.Policy().Name() }
+
+// WriteAmpStats aggregates flash-write accounting across the array.
+type WriteAmpStats = store.WriteAmpStats
+
+// SegmentStats is one device's segment-layout occupancy and wear snapshot.
+type SegmentStats = flash.SegmentStats
+
+// WriteAmp returns array-level write-amplification counters: total flash
+// bytes programmed, the GC-relocated share, tombstoned bytes, current
+// live/garbage occupancy, segment erases, and the worst per-device
+// erase-equivalent wear. Under the in-place layout only the host-write
+// counters are populated. System-level write amplification is
+// WriteAmp().FlashBytesWritten / Stats().OfferedBytes.
+func (c *Cache) WriteAmp() WriteAmpStats { return c.store.WriteAmp() }
+
+// SegmentStats snapshots every device slot's segment utilization, garbage
+// ratio, and write-amplification counters in slot order.
+func (c *Cache) SegmentStats() []SegmentStats { return c.store.SegmentStats() }
+
+// SetAdmission reconfigures the clean-miss admission gate at runtime —
+// reo.AdmitAll restores unconditional admission; reo.AdmitOnReuse installs
+// a fresh ghost filter with the given thresholds (zero values select
+// defaults). Used by live tuning paths; the ghost history does not survive
+// reconfiguration.
+func (c *Cache) SetAdmission(mode AdmissionMode, minHits, ghostCapacity int) {
+	c.manager.SetAdmission(mode, minHits, ghostCapacity)
+}
+
+// WaitGC blocks until no background segment-collection episode is running.
+func (c *Cache) WaitGC() { c.store.WaitGC() }
