@@ -1,0 +1,301 @@
+package cache
+
+import (
+	"context"
+	"errors"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+// Batched cache operations. The win over looping the single-op methods is
+// the fixed-cost amortisation on the hot paths: one manager-lock pass
+// partitions the whole batch into hits and misses, the hits ride one
+// vectored store read (one wire frame against a remote target, one fan-out
+// against a cluster), and fresh writes ride one vectored store write.
+// Everything that needs per-object care — entries mid-flush, duplicate IDs,
+// miss fills, eviction pressure — falls back to the single-op code paths,
+// so batched and unbatched requests are indistinguishable in semantics and
+// in the stats and virtual-time accounting they produce.
+
+// BatchWrite is one object write in a batch.
+type BatchWrite struct {
+	ID   osd.ObjectID
+	Data []byte
+}
+
+// ReadBatch serves a batch of client reads (see ReadBatchCtx).
+func (m *Manager) ReadBatch(ids []osd.ObjectID) ([]Result, []error) {
+	return m.ReadBatchCtx(nil, ids)
+}
+
+// ReadBatchCtx serves len(ids) reads, returning parallel result and error
+// slices in caller order. Each sub-read succeeds or fails independently
+// with exactly ReadCtx's semantics; successful results must be Released.
+// Cached objects are found in a single lock pass and read from the store as
+// one vectored batch; misses (and hits that die mid-read) take the ordinary
+// miss path one at a time, coalescing duplicate IDs through the fill map
+// and the admission they trigger. Cancellation drains cleanly: once rc
+// expires, the remaining sub-reads fail with the context error.
+func (m *Manager) ReadBatchCtx(rc *reqctx.Ctx, ids []osd.ObjectID) ([]Result, []error) {
+	results := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	if len(ids) == 0 {
+		return results, errs
+	}
+	if err := rc.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+
+	// Partition pass: one lock acquisition splits the batch into cached
+	// entries (read from the store below) and everything else (single-op
+	// miss path). Hit entries are touched here — frequency and LRU position
+	// update exactly as ReadCtx does before its store read.
+	var (
+		hitIdx     []int
+		hitIDs     []osd.ObjectID
+		hitEntries []*entry
+		missIdx    []int
+	)
+	m.mu.Lock()
+	if m.disabledLocked() {
+		missIdx = make([]int, len(ids))
+		for i := range ids {
+			missIdx[i] = i
+		}
+	} else {
+		for i, id := range ids {
+			if e, ok := m.entries[id]; ok {
+				e.freq++
+				m.touchLocked(e)
+				hitIdx = append(hitIdx, i)
+				hitIDs = append(hitIDs, id)
+				hitEntries = append(hitEntries, e)
+			} else {
+				missIdx = append(missIdx, i)
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	// Vectored store read for the hits: one lock pass in an in-process
+	// store, one OpGetBatch frame against a remote target, one per-shard
+	// fan-out against a cluster.
+	if len(hitIDs) > 0 {
+		batch := target.GetBatch(m.cfg.Store, rc, hitIDs)
+		var fallback []int // positions whose cached copy died mid-read
+		m.mu.Lock()
+		for j := range batch {
+			i, r := hitIdx[j], &batch[j]
+			switch {
+			case r.Err == nil:
+				data := r.Buf.Bytes()
+				m.stats.Reads++
+				m.readsSince++
+				m.stats.Hits++
+				res := Result{
+					Hit:      true,
+					Degraded: r.Degraded,
+					Bytes:    int64(len(data)),
+					Data:     data,
+					Latency:  r.Cost + m.netCost(int64(len(data))),
+					buf:      r.Buf,
+				}
+				res.Background += m.maybeRefreshLocked()
+				results[i] = res
+			case errors.Is(r.Err, context.Canceled), errors.Is(r.Err, context.DeadlineExceeded):
+				m.stats.Reads++
+				m.readsSince++
+				errs[i] = r.Err
+			case errors.Is(r.Err, store.ErrCorrupted), errors.Is(r.Err, store.ErrNotFound):
+				// The object died with a device; fall through to a miss (the
+				// single-op path counts the read). An entry mid-flush or
+				// mid-reclassification is left for its latch holder.
+				if cur, ok := m.entries[hitIDs[j]]; ok && cur == hitEntries[j] &&
+					!cur.flushing && !cur.reclassing {
+					m.dropEntryLocked(cur)
+					m.stats.LostObjects++
+				}
+				fallback = append(fallback, i)
+			default:
+				m.stats.Reads++
+				m.readsSince++
+				errs[i] = r.Err
+			}
+		}
+		m.mu.Unlock()
+		missIdx = append(missIdx, fallback...)
+	}
+
+	// Miss path, one object at a time in caller order: sequential fetches
+	// keep the virtual-time replay deterministic, and a duplicate ID later
+	// in the batch finds either its predecessor's fill (still in flight
+	// from a concurrent request) or the entry its admission installed.
+	for _, i := range missIdx {
+		results[i], errs[i] = m.ReadCtx(rc, ids[i])
+	}
+	return results, errs
+}
+
+// WriteBatch absorbs a batch of client writes (see WriteBatchCtx).
+func (m *Manager) WriteBatch(ops []BatchWrite) ([]Result, []error) {
+	return m.WriteBatchCtx(nil, ops)
+}
+
+// WriteBatchCtx absorbs len(ops) writes, returning parallel result and
+// error slices in caller order. Each sub-write succeeds or fails
+// independently with exactly WriteCtx's semantics: acknowledged writes are
+// durably placed (dirty in flash, or written through to the backend when
+// the cache cannot absorb them); cancelled sub-writes are not acknowledged.
+// Writes to objects the cache has never seen ride one vectored store write;
+// overwrites, duplicate IDs in the batch, and sub-writes that hit cache
+// pressure fall back to the single-op path. The dirty-fraction flush check
+// runs once per batch rather than once per write, so dirty bytes may
+// overshoot the threshold by at most one batch before the flush kicks in.
+func (m *Manager) WriteBatchCtx(rc *reqctx.Ctx, ops []BatchWrite) ([]Result, []error) {
+	results := make([]Result, len(ops))
+	errs := make([]error, len(ops))
+	if len(ops) == 0 {
+		return results, errs
+	}
+	if err := rc.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return results, errs
+	}
+
+	// Partition pass under one lock hold: fresh IDs (no existing entry, not
+	// repeated in the batch) are vectored; everything else keeps the
+	// single-op path, which settles previous entries, flush latches, and
+	// ordering between duplicate IDs.
+	var (
+		fresh    []int
+		single   []int
+		batchPut []target.BatchPut
+	)
+	m.mu.Lock()
+	if m.disabledLocked() {
+		m.mu.Unlock()
+		for i := range ops {
+			results[i], errs[i] = m.WriteCtx(rc, ops[i].ID, ops[i].Data)
+		}
+		return results, errs
+	}
+	seen := make(map[osd.ObjectID]struct{}, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		_, dup := seen[op.ID]
+		seen[op.ID] = struct{}{}
+		if _, exists := m.entries[op.ID]; exists || dup {
+			single = append(single, i)
+			continue
+		}
+		fresh = append(fresh, i)
+		batchPut = append(batchPut, target.BatchPut{
+			ID: op.ID, Data: op.Data, Class: osd.ClassDirty, Dirty: true,
+		})
+		m.stats.Writes++
+		m.stats.OfferedBytes += int64(len(op.Data))
+	}
+
+	// Vectored store write for the fresh IDs, under the manager lock like
+	// admitLocked's Put. Sub-writes the store refuses re-run through
+	// admitLocked (evicting as needed); hard failures fall back to a
+	// synchronous backend write-through after the lock drops.
+	var writeThrough, pressured []int
+	if len(batchPut) > 0 {
+		batch := target.PutBatch(m.cfg.Store, rc, batchPut)
+		// Install every success first, under the continuous lock hold that
+		// started before the vectored Put — inserting over a concurrent
+		// entry would orphan its LRU element, and the pressure fallbacks
+		// below drop the lock.
+		for j := range batch {
+			i, r := fresh[j], &batch[j]
+			op := &ops[i]
+			switch {
+			case r.Err == nil:
+				e := &entry{id: op.ID, size: int64(len(op.Data)), freq: 1, dirty: true, class: osd.ClassDirty}
+				e.elem = m.lru.PushFront(e)
+				m.entries[op.ID] = e
+				m.stats.AdmittedBytes += e.size
+				m.dirtyBytes += e.size
+				e.dirtyElem = m.dirtyList.PushFront(e)
+				results[i] = Result{
+					Hit:     true,
+					Bytes:   int64(len(op.Data)),
+					Latency: r.Cost + m.netCost(int64(len(op.Data))),
+				}
+			case errors.Is(r.Err, context.Canceled), errors.Is(r.Err, context.DeadlineExceeded):
+				errs[i] = r.Err
+			case errors.Is(r.Err, store.ErrCacheFull):
+				pressured = append(pressured, i)
+			default:
+				m.stats.AdmissionSkips++
+				writeThrough = append(writeThrough, i)
+			}
+		}
+		// Under pressure the batch degenerates to the single-op admission
+		// loop, which evicts until the write fits (and may drop the lock
+		// while waiting on flush latches). The failed vectored attempt
+		// charged no cost and left no state.
+		for _, i := range pressured {
+			op := &ops[i]
+			cost, admitErr := m.admitLocked(rc, op.ID, op.Data, true)
+			if admitErr != nil {
+				errs[i] = admitErr
+				continue
+			}
+			if _, admitted := m.entries[op.ID]; !admitted {
+				results[i].Background += cost
+				writeThrough = append(writeThrough, i)
+				continue
+			}
+			results[i] = Result{
+				Hit:     true,
+				Bytes:   int64(len(op.Data)),
+				Latency: cost + m.netCost(int64(len(op.Data))),
+			}
+		}
+	}
+	background := m.maybeFlushLocked()
+	m.mu.Unlock()
+
+	// Attach the batch's one flush pass to the first acknowledged write —
+	// the same virtual time a single-op sequence would have charged across
+	// its calls, accounted in one place.
+	if background > 0 {
+		for i := range results {
+			if errs[i] == nil && results[i].Hit {
+				results[i].Background += background
+				break
+			}
+		}
+	}
+
+	// Write-throughs: the cache could not absorb these; never acknowledge a
+	// write stored nowhere.
+	for _, i := range writeThrough {
+		op := &ops[i]
+		bcost, err := m.cfg.Backend.PutCtx(rc, op.ID, op.Data)
+		if err != nil {
+			errs[i] = err
+			results[i] = Result{}
+			continue
+		}
+		results[i].Bytes = int64(len(op.Data))
+		results[i].Latency = bcost + m.netCost(int64(len(op.Data)))
+	}
+
+	// Everything with an existing entry or a duplicate ID: single-op path,
+	// in caller order.
+	for _, i := range single {
+		results[i], errs[i] = m.WriteCtx(rc, ops[i].ID, ops[i].Data)
+	}
+	return results, errs
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+)
+
+func TestReadBatchHitMissMix(t *testing.T) {
+	f := newFixture(t, policy.Reo{ParityBudget: 0.4}, 0.4, 4<<20)
+	for n := uint64(0); n < 8; n++ {
+		f.seed(t, n, 2048)
+	}
+	// Warm objects 0..3 so the batch sees a hit/miss mix.
+	for n := uint64(0); n < 4; n++ {
+		res, err := f.cache.Read(oid(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	ids := []osd.ObjectID{oid(0), oid(4), oid(1), oid(5), oid(2), oid(6), oid(3), oid(7)}
+	results, errs := f.cache.ReadBatch(ids)
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("sub-read %d (%v): %v", i, ids[i], errs[i])
+		}
+		want := randBytes(int64(ids[i].OID-osd.FirstUserOID), 2048)
+		if !bytes.Equal(results[i].Data, want) {
+			t.Fatalf("sub-read %d: payload mismatch", i)
+		}
+		wantHit := i%2 == 0
+		if results[i].Hit != wantHit {
+			t.Fatalf("sub-read %d: Hit = %v, want %v", i, results[i].Hit, wantHit)
+		}
+		results[i].Release()
+	}
+	// The miss fills must have admitted: a second batch is all hits.
+	results, errs = f.cache.ReadBatch(ids)
+	for i := range results {
+		if errs[i] != nil || !results[i].Hit {
+			t.Fatalf("re-read %d: hit=%v err=%v, want all hits", i, results[i].Hit, errs[i])
+		}
+		results[i].Release()
+	}
+}
+
+func TestWriteBatchFreshDupExisting(t *testing.T) {
+	f := newFixture(t, policy.Reo{ParityBudget: 0.4}, 0.4, 4<<20)
+	// Pre-existing entry for oid(0).
+	if _, err := f.cache.Write(oid(0), randBytes(100, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	ops := []BatchWrite{
+		{ID: oid(0), Data: randBytes(0, 2048)}, // overwrite of an existing entry
+		{ID: oid(1), Data: randBytes(1, 2048)}, // fresh
+		{ID: oid(2), Data: randBytes(2, 1024)}, // duplicate pair: first...
+		{ID: oid(2), Data: randBytes(3, 2048)}, // ...and last writer wins
+		{ID: oid(3), Data: randBytes(4, 2048)}, // fresh
+	}
+	results, errs := f.cache.WriteBatch(ops)
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("sub-write %d: %v", i, errs[i])
+		}
+		if results[i].Bytes != int64(len(ops[i].Data)) {
+			t.Fatalf("sub-write %d: Bytes = %d, want %d", i, results[i].Bytes, len(ops[i].Data))
+		}
+	}
+	want := map[uint64][]byte{
+		0: randBytes(0, 2048),
+		1: randBytes(1, 2048),
+		2: randBytes(3, 2048),
+		3: randBytes(4, 2048),
+	}
+	for n, data := range want {
+		res, err := f.cache.Read(oid(n))
+		if err != nil {
+			t.Fatalf("read back %d: %v", n, err)
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("read back %d: payload mismatch", n)
+		}
+		if !res.Hit {
+			t.Fatalf("read back %d: acknowledged batch write not cached", n)
+		}
+		res.Release()
+	}
+}
+
+// TestBatchStatParity replays the same operation sequence through the
+// single-op methods and through the batch methods and requires identical
+// cache statistics and identical total virtual time — the determinism
+// contract that keeps replay experiments byte-identical whether or not
+// batching is enabled.
+func TestBatchStatParity(t *testing.T) {
+	run := func(batched bool) (Stats, time.Duration) {
+		f := newFixture(t, policy.Reo{ParityBudget: 0.4}, 0.4, 4<<20)
+		for n := uint64(20); n < 30; n++ {
+			f.seed(t, n, 1536)
+		}
+		var total time.Duration
+		account := func(results []Result, errs []error) {
+			for i := range results {
+				if errs[i] != nil {
+					t.Fatal(errs[i])
+				}
+				total += results[i].Latency + results[i].Background
+				results[i].Release()
+			}
+		}
+		writes := make([]BatchWrite, 10)
+		for n := 0; n < 10; n++ {
+			writes[n] = BatchWrite{ID: oid(uint64(n)), Data: randBytes(int64(n), 1536)}
+		}
+		readIDs := make([]osd.ObjectID, 0, 15)
+		for n := uint64(0); n < 5; n++ {
+			readIDs = append(readIDs, oid(n)) // hits
+		}
+		for n := uint64(20); n < 30; n++ {
+			readIDs = append(readIDs, oid(n)) // misses
+		}
+		if batched {
+			account(f.cache.WriteBatch(writes))
+			account(f.cache.ReadBatch(readIDs))
+		} else {
+			for _, op := range writes {
+				res, err := f.cache.Write(op.ID, op.Data)
+				account([]Result{res}, []error{err})
+			}
+			for _, id := range readIDs {
+				res, err := f.cache.Read(id)
+				account([]Result{res}, []error{err})
+			}
+		}
+		return f.cache.Stats(), total
+	}
+	single, singleTime := run(false)
+	batch, batchTime := run(true)
+
+	// Wall-clock gauges legitimately differ; everything else must not.
+	single.RefreshPauseTotal, batch.RefreshPauseTotal = 0, 0
+	single.RefreshPauseMax, batch.RefreshPauseMax = 0, 0
+	if single != batch {
+		t.Fatalf("stats diverged:\n single: %+v\n batch:  %+v", single, batch)
+	}
+	if singleTime != batchTime {
+		t.Fatalf("virtual time diverged: single %v, batch %v", singleTime, batchTime)
+	}
+}

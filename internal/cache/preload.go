@@ -5,6 +5,7 @@ import (
 
 	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/target"
 )
 
 // Preload bulk-admits objects from the backend into the cache without
@@ -20,74 +21,131 @@ func (m *Manager) Preload(ids []osd.ObjectID) (admitted int, cost time.Duration,
 	return m.PreloadCtx(nil, ids)
 }
 
-// PreloadCtx is Preload under a request context, checked between objects:
-// a cancelled warm-up stops cleanly at the next object boundary with
+// preloadChunk bounds how many objects one vectored store write carries
+// during a warm-up. Chunking keeps the manager lock holds short so client
+// requests interleave with the bulk load.
+const preloadChunk = 32
+
+// PreloadCtx is Preload under a request context, checked between chunks
+// and between backend fetches: a cancelled warm-up stops cleanly with
 // everything admitted so far intact.
+//
+// The warm-up rides the batch data path: each chunk is screened against the
+// cache in one lock pass, fetched from the backend without the lock, and
+// admitted through one vectored store write (one OpPutBatch frame when the
+// store is remote). Per-object semantics are unchanged — preload never
+// evicts, skips objects missing from the backend, retries a refused hot
+// placement once as cold, and stops at the first object the cache cannot
+// absorb.
 func (m *Manager) PreloadCtx(rc *reqctx.Ctx, ids []osd.ObjectID) (admitted int, cost time.Duration, err error) {
-	for _, id := range ids {
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > preloadChunk {
+			n = preloadChunk
+		}
+		chunk := ids[:n]
+		ids = ids[n:]
 		if cerr := rc.Err(); cerr != nil {
 			return admitted, cost, cerr
 		}
+
+		// Screen the chunk in one lock pass: drop ids already cached.
+		var want []osd.ObjectID
 		m.mu.Lock()
 		if m.disabledLocked() {
 			m.mu.Unlock()
 			return admitted, cost, nil
 		}
-		if _, ok := m.entries[id]; ok {
-			m.mu.Unlock()
-			continue
+		for _, id := range chunk {
+			if _, ok := m.entries[id]; !ok {
+				want = append(want, id)
+			}
 		}
 		m.mu.Unlock()
-		// Fetch without the lock so client requests keep flowing during
-		// a bulk warm-up.
-		data, fetchCost, err := m.cfg.Backend.Get(id)
-		if err != nil {
-			// Missing objects are skipped, not fatal: warm-up hints can
-			// be stale.
+
+		// Fetch without the lock so client requests keep flowing during a
+		// bulk warm-up. Missing objects are skipped, not fatal: warm-up
+		// hints can be stale.
+		type fetched struct {
+			id   osd.ObjectID
+			data []byte
+			cost time.Duration
+		}
+		var objs []fetched
+		for _, id := range want {
+			if cerr := rc.Err(); cerr != nil {
+				return admitted, cost, cerr
+			}
+			data, fetchCost, ferr := m.cfg.Backend.Get(id)
+			if ferr != nil {
+				continue
+			}
+			objs = append(objs, fetched{id: id, data: data, cost: fetchCost})
+		}
+		if len(objs) == 0 {
 			continue
 		}
+
+		// Re-check and admit under one lock hold, writing the chunk to the
+		// store as one vectored batch (admission classes chosen per object,
+		// exactly as the single-op path would).
+		var (
+			puts    []target.BatchPut
+			putObjs []fetched
+		)
 		m.mu.Lock()
-		if _, ok := m.entries[id]; ok {
-			// A client request admitted it while we were fetching.
+		for _, o := range objs {
+			if _, ok := m.entries[o.id]; ok {
+				// A client request admitted it while we were fetching.
+				continue
+			}
+			cost += o.cost
+			class := osd.ClassColdClean
+			if m.hotness(&entry{size: int64(len(o.data)), freq: 1}) >= m.hhot {
+				class = osd.ClassHotClean
+			}
+			puts = append(puts, target.BatchPut{ID: o.id, Data: o.data, Class: class})
+			putObjs = append(putObjs, o)
+		}
+		if len(puts) == 0 {
 			m.mu.Unlock()
 			continue
 		}
-		cost += fetchCost
-		putCost, ok := m.admitNoEvictLocked(id, data)
-		cost += putCost
+		batch := target.PutBatch(m.cfg.Store, nil, puts)
+		full := false
+		for j := range batch {
+			o, r := &putObjs[j], &batch[j]
+			cost += r.Cost
+			ok := r.Err == nil
+			if full && ok {
+				// The warm-up already stopped at an earlier object; undo
+				// this placement so admissions remain a prefix of ids.
+				_ = m.cfg.Store.Delete(o.id)
+				continue
+			}
+			class := puts[j].Class
+			if !ok && !full && class == osd.ClassHotClean {
+				// Redundancy space or capacity exhausted: retry cold once.
+				class = osd.ClassColdClean
+				retryCost, rerr := m.cfg.Store.PutCtx(nil, o.id, o.data, class, false)
+				cost += retryCost
+				ok = rerr == nil
+			}
+			if !ok {
+				// The cache is full; preload never evicts (that would churn
+				// the objects just loaded). Stop here.
+				full = true
+				continue
+			}
+			e := &entry{id: o.id, size: int64(len(o.data)), freq: 1, class: class}
+			e.elem = m.lru.PushFront(e)
+			m.entries[o.id] = e
+			admitted++
+		}
 		m.mu.Unlock()
-		if !ok {
-			// The cache is full; preload never evicts (that would churn
-			// the objects just loaded). Stop here.
+		if full {
 			return admitted, cost, nil
 		}
-		admitted++
 	}
 	return admitted, cost, nil
-}
-
-// admitNoEvictLocked inserts a clean object only if it fits without
-// evicting anything. It reports whether the object was admitted.
-func (m *Manager) admitNoEvictLocked(id osd.ObjectID, data []byte) (time.Duration, bool) {
-	class := osd.ClassColdClean
-	if m.hotness(&entry{size: int64(len(data)), freq: 1}) >= m.hhot {
-		class = osd.ClassHotClean
-	}
-	var total time.Duration
-	for {
-		cost, err := m.cfg.Store.PutCtx(nil, id, data, class, false)
-		total += cost
-		switch {
-		case err == nil:
-			e := &entry{id: id, size: int64(len(data)), freq: 1, class: class}
-			e.elem = m.lru.PushFront(e)
-			m.entries[id] = e
-			return total, true
-		case class == osd.ClassHotClean:
-			// Redundancy space or capacity exhausted: retry cold once.
-			class = osd.ClassColdClean
-		default:
-			return total, false
-		}
-	}
 }

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+// Batched cluster routing: a batch is split by owning shard (directory
+// first, ring for unknown objects — the same resolution single ops use),
+// the per-shard sub-batches fan out concurrently, and results reassemble in
+// caller order with per-sub-op errors. Each sub-batch rides the shard
+// target's own batch path, so against remote shards an N-object batch
+// touching K shards costs K wire frames instead of N.
+//
+// Lock discipline: every route stripe the batch touches is acquired before
+// any shard is called, in ascending stripe index. Single-object operations
+// and the rebalancer take at most one stripe lock at a time, so the sorted
+// multi-stripe acquisition cannot deadlock against them — or against
+// another batch, which sorts the same way.
+
+var _ target.BatchTarget = (*Initiator)(nil)
+
+// BatchStats snapshots the initiator's batch-routing counters.
+type BatchStats struct {
+	// Calls counts batch operations routed; SubOps the object operations
+	// they carried.
+	Calls, SubOps int64
+	// Fanout counts per-shard sub-batches dispatched; Fanout/Calls is the
+	// mean fan-out width.
+	Fanout int64
+	// PartialFailures counts batches where some sub-ops succeeded and
+	// others failed — the outcome callers must be prepared to unpick.
+	PartialFailures int64
+}
+
+// FanoutWidth is the mean number of shard sub-batches per batch call.
+func (b BatchStats) FanoutWidth() float64 {
+	if b.Calls == 0 {
+		return 0
+	}
+	return float64(b.Fanout) / float64(b.Calls)
+}
+
+// BatchCounters snapshots the initiator's batch-routing counters.
+func (ini *Initiator) BatchCounters() BatchStats {
+	return BatchStats{
+		Calls:           ini.batchCalls.Load(),
+		SubOps:          ini.batchSubOps.Load(),
+		Fanout:          ini.batchFanout.Load(),
+		PartialFailures: ini.batchPartialFailures.Load(),
+	}
+}
+
+// lockStripes acquires the route-lock stripes covering ids in ascending
+// stripe index (each stripe once) and returns an unlock function. rlock
+// selects read locks (batch gets) over write locks (batch puts).
+func (ini *Initiator) lockStripes(ids []osd.ObjectID, rlock bool) (unlock func()) {
+	seen := make(map[int]struct{}, len(ids))
+	idxs := make([]int, 0, len(ids))
+	for _, id := range ids {
+		idx := int(HashID(id) & routeStripeMask)
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if rlock {
+			ini.stripes[idx].mu.RLock()
+		} else {
+			ini.stripes[idx].mu.Lock()
+		}
+	}
+	return func() {
+		for _, idx := range idxs {
+			if rlock {
+				ini.stripes[idx].mu.RUnlock()
+			} else {
+				ini.stripes[idx].mu.Unlock()
+			}
+		}
+	}
+}
+
+// shardBatch is one shard's slice of a batch: the sub-ops routed to it and
+// their positions in the caller's order.
+type shardBatch struct {
+	name    string
+	target  target.Target
+	indices []int
+}
+
+// planBatch resolves every id to its owning shard under the already-held
+// stripe locks, returning per-shard sub-batches in first-touched order.
+// Resolution errors (unknown shard) are recorded directly into errs.
+func (ini *Initiator) planBatch(ids []osd.ObjectID, errs []error) []*shardBatch {
+	var plan []*shardBatch
+	byName := make(map[string]*shardBatch)
+	for i, id := range ids {
+		st := ini.stripeFor(id)
+		name, t, _, err := ini.resolve(st, id)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		sb := byName[name]
+		if sb == nil {
+			sb = &shardBatch{name: name, target: t}
+			byName[name] = sb
+			plan = append(plan, sb)
+		}
+		sb.indices = append(sb.indices, i)
+	}
+	return plan
+}
+
+// GetBatchCtx implements target.BatchTarget: one directory resolution pass,
+// concurrent per-shard fan-out, caller-order reassembly. Per-object
+// semantics match GetCtx, including stale-directory cleanup on not-found.
+func (ini *Initiator) GetBatchCtx(rc *reqctx.Ctx, ids []osd.ObjectID) []target.BatchGetResult {
+	out := make([]target.BatchGetResult, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	start := time.Now()
+	errs := make([]error, len(ids))
+	unlock := ini.lockStripes(ids, true)
+	plan := ini.planBatch(ids, errs)
+	var wg sync.WaitGroup
+	for _, sb := range plan {
+		sub := make([]osd.ObjectID, len(sb.indices))
+		for j, i := range sb.indices {
+			sub[j] = ids[i]
+		}
+		sb := sb
+		run := func() {
+			results := target.GetBatch(sb.target, rc, sub)
+			for j, i := range sb.indices {
+				if j < len(results) {
+					out[i] = results[j]
+				}
+			}
+		}
+		if len(plan) == 1 {
+			run()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	wg.Wait()
+	unlock()
+	for i := range errs {
+		if errs[i] != nil {
+			out[i].Err = errs[i]
+		}
+	}
+
+	// Post-pass bookkeeping outside the read locks: stale directory entries
+	// for objects their shard no longer holds, per-shard counters.
+	failed := 0
+	for _, sb := range plan {
+		c := ini.countersFor(sb.name)
+		for _, i := range sb.indices {
+			res := &out[i]
+			if res.Err == nil {
+				c.ops.Add(1)
+				if res.Buf != nil {
+					c.bytesOut.Add(int64(res.Buf.Len()))
+				}
+				continue
+			}
+			failed++
+			if errors.Is(res.Err, store.ErrNotFound) {
+				st := ini.stripeFor(ids[i])
+				st.mu.Lock()
+				if p := st.objs[ids[i]]; p != nil && p.shard == sb.name {
+					delete(st.objs, ids[i])
+				}
+				st.mu.Unlock()
+			}
+		}
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			failed++
+		}
+	}
+	ini.noteBatch(len(ids), len(plan), failed)
+	ini.observe("cluster.get_batch", start)
+	return out
+}
+
+// PutBatchCtx implements target.BatchTarget: the stripes covering the batch
+// are write-locked (sorted), sub-batches fan out per shard, and successful
+// sub-ops commit their placement entries before the locks drop — exactly
+// the per-object commit PutCtx performs.
+func (ini *Initiator) PutBatchCtx(rc *reqctx.Ctx, ops []target.BatchPut) []target.BatchPutResult {
+	out := make([]target.BatchPutResult, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	start := time.Now()
+	ids := make([]osd.ObjectID, len(ops))
+	for i := range ops {
+		ids[i] = ops[i].ID
+	}
+	errs := make([]error, len(ops))
+	unlock := ini.lockStripes(ids, false)
+	plan := ini.planBatch(ids, errs)
+	var wg sync.WaitGroup
+	for _, sb := range plan {
+		sub := make([]target.BatchPut, len(sb.indices))
+		for j, i := range sb.indices {
+			sub[j] = ops[i]
+		}
+		sb := sb
+		run := func() {
+			results := target.PutBatch(sb.target, rc, sub)
+			for j, i := range sb.indices {
+				if j < len(results) {
+					out[i] = results[j]
+				}
+			}
+		}
+		if len(plan) == 1 {
+			run()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	wg.Wait()
+
+	// Commit placements for the successes while the write locks are still
+	// held, so a concurrent rebalance never observes a half-committed batch.
+	for _, sb := range plan {
+		c := ini.countersFor(sb.name)
+		for _, i := range sb.indices {
+			if out[i].Err != nil {
+				continue
+			}
+			op := &ops[i]
+			st := ini.stripeFor(op.ID)
+			if p := st.objs[op.ID]; p != nil {
+				p.class, p.dirty, p.size = op.Class, op.Dirty, int64(len(op.Data))
+			} else {
+				st.objs[op.ID] = &placement{
+					shard: sb.name, class: op.Class, dirty: op.Dirty, size: int64(len(op.Data)),
+				}
+			}
+			c.ops.Add(1)
+			c.bytesIn.Add(int64(len(op.Data)))
+		}
+	}
+	unlock()
+	failed := 0
+	for i := range errs {
+		if errs[i] != nil {
+			out[i].Err = errs[i]
+		}
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			failed++
+		}
+	}
+	ini.noteBatch(len(ops), len(plan), failed)
+	ini.observe("cluster.put_batch", start)
+	return out
+}
+
+// noteBatch records one batch call in the routing counters.
+func (ini *Initiator) noteBatch(subOps, fanout, failed int) {
+	ini.batchCalls.Add(1)
+	ini.batchSubOps.Add(int64(subOps))
+	ini.batchFanout.Add(int64(fanout))
+	if failed > 0 && failed < subOps {
+		ini.batchPartialFailures.Add(1)
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+// TestBatchReplayDuringMembershipChange is the batched twin of
+// TestConcurrentReplayDuringMembershipChange: workers drive the cluster
+// through PutBatchCtx/GetBatchCtx while a shard joins and a founding shard
+// retires. The multi-stripe route locks the batch path takes must coexist
+// with the rebalancer's per-stripe locking; every read is byte-verified, no
+// acknowledged write may be lost, and the bufpool books must balance. Run
+// under -race in CI.
+func TestBatchReplayDuringMembershipChange(t *testing.T) {
+	const (
+		workers         = 8
+		objects         = 400
+		roundsPerWorker = 4
+		batchSize       = 8
+	)
+
+	leasesBefore := bufpool.Outstanding()
+	ini, _ := newTestCluster(t, 4)
+
+	lastAcked := make([]int, objects)
+	var progress atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// This worker's objects, issued as fixed-size batches. Objects
+			// are partitioned by worker, so per-object operations stay
+			// serial and each read has one correct answer.
+			var mine []int
+			for i := w; i < objects; i += workers {
+				mine = append(mine, i)
+			}
+			for round := 0; round < roundsPerWorker; round++ {
+				version := round + 1
+				for s := 0; s < len(mine); s += batchSize {
+					e := s + batchSize
+					if e > len(mine) {
+						e = len(mine)
+					}
+					group := mine[s:e]
+					puts := make([]target.BatchPut, len(group))
+					for k, i := range group {
+						class, dirty := osd.ClassColdClean, false
+						if (i+round)%3 == 0 {
+							class, dirty = osd.ClassDirty, true
+						}
+						puts[k] = target.BatchPut{
+							ID: testID(i), Data: testPayload(i, version), Class: class, Dirty: dirty,
+						}
+					}
+					for k, r := range ini.PutBatchCtx(nil, puts) {
+						if r.Err != nil {
+							t.Errorf("worker %d: batch put (%d v%d): %v", w, group[k], version, r.Err)
+							return
+						}
+						lastAcked[group[k]] = version
+						progress.Add(1)
+					}
+					ids := make([]osd.ObjectID, len(group))
+					for k, i := range group {
+						ids[k] = testID(i)
+					}
+					for k, r := range ini.GetBatchCtx(nil, ids) {
+						if r.Err != nil {
+							t.Errorf("worker %d: batch get (%d) after v%d ack: %v", w, group[k], version, r.Err)
+							return
+						}
+						if !bytes.Equal(r.Buf.Bytes(), testPayload(group[k], version)) {
+							t.Errorf("worker %d: batch get (%d) returned wrong bytes for v%d", w, group[k], version)
+						}
+						r.Release()
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Membership churn concurrent with the batched replay: grow 4 -> 5,
+	// then retire a founding shard.
+	memberDone := make(chan struct{})
+	go func() {
+		defer close(memberDone)
+		for progress.Load() < objects {
+			time.Sleep(time.Millisecond)
+		}
+		if stats, err := ini.AddTarget("t4", newShardStore(t, policy.Reo{ParityBudget: 0.4})); err != nil {
+			t.Errorf("AddTarget during batched replay: %v", err)
+			return
+		} else if stats.Skipped > 0 {
+			t.Errorf("AddTarget skipped %d objects", stats.Skipped)
+		}
+		if stats, err := ini.RemoveTarget("t1"); err != nil {
+			t.Errorf("RemoveTarget during batched replay: %v", err)
+			return
+		} else if stats.Skipped > 0 {
+			t.Errorf("RemoveTarget skipped %d objects", stats.Skipped)
+		}
+	}()
+
+	wg.Wait()
+	<-memberDone
+	if t.Failed() {
+		return
+	}
+
+	// No lost writes, no stale routing: every object reads back its last
+	// acknowledged version and routes off the retired shard.
+	for i := 0; i < objects; i++ {
+		id := testID(i)
+		got := mustGet(t, ini, id)
+		if !bytes.Equal(got, testPayload(i, lastAcked[i])) {
+			t.Fatalf("object %d: lost write — final bytes are not v%d", i, lastAcked[i])
+		}
+		if owner := ini.OwnerOf(id); owner == "t1" {
+			t.Fatalf("object %d still routed to retired shard", i)
+		}
+	}
+
+	stats := ini.BatchCounters()
+	if stats.Calls == 0 || stats.SubOps == 0 {
+		t.Fatalf("batch counters empty after batched replay: %+v", stats)
+	}
+	if stats.PartialFailures != 0 {
+		t.Errorf("batched replay recorded %d partial failures", stats.PartialFailures)
+	}
+	if leasesAfter := bufpool.Outstanding(); leasesAfter != leasesBefore {
+		t.Errorf("bufpool leases %d at quiesce, %d at start — leaked %d",
+			leasesAfter, leasesBefore, leasesAfter-leasesBefore)
+	}
+	migObjects, _ := ini.MigratedTotals()
+	if migObjects == 0 {
+		t.Errorf("membership change migrated nothing under the batched replay")
+	}
+}

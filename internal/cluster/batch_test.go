@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/store"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+func TestBatchFanOutAndReassembly(t *testing.T) {
+	ini, _ := newTestCluster(t, 3)
+	const n = 48
+	ops := make([]target.BatchPut, n)
+	for i := range ops {
+		ops[i] = target.BatchPut{ID: testID(i), Class: osd.ClassHotClean, Data: testPayload(i, 0)}
+	}
+	puts := ini.PutBatchCtx(nil, ops)
+	for i, r := range puts {
+		if r.Err != nil {
+			t.Fatalf("put sub-op %d: %v", i, r.Err)
+		}
+	}
+
+	// The batch must have spread across more than one shard.
+	shards := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		st := ini.stripeFor(testID(i))
+		st.mu.RLock()
+		p := st.objs[testID(i)]
+		st.mu.RUnlock()
+		if p == nil {
+			t.Fatalf("object %d has no placement after batch put", i)
+		}
+		shards[p.shard] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("batch landed on %d shard(s), want fan-out across >= 2", len(shards))
+	}
+
+	// Read back in a deliberately shuffled order: results must reassemble in
+	// caller order regardless of which shard served each sub-op.
+	ids := make([]osd.ObjectID, n)
+	for i := range ids {
+		ids[i] = testID((i * 7) % n)
+	}
+	gets := ini.GetBatchCtx(nil, ids)
+	for i, r := range gets {
+		if r.Err != nil {
+			t.Fatalf("get sub-op %d: %v", i, r.Err)
+		}
+		if want := testPayload((i*7)%n, 0); !bytes.Equal(r.Buf.Bytes(), want) {
+			t.Fatalf("get sub-op %d: payload mismatch (caller-order reassembly broken)", i)
+		}
+		r.Release()
+	}
+
+	stats := ini.BatchCounters()
+	if stats.Calls != 2 || stats.SubOps != 2*n {
+		t.Fatalf("counters: calls=%d subOps=%d, want 2 / %d", stats.Calls, stats.SubOps, 2*n)
+	}
+	if stats.FanoutWidth() <= 1 {
+		t.Fatalf("fan-out width = %v, want > 1", stats.FanoutWidth())
+	}
+	if stats.PartialFailures != 0 {
+		t.Fatalf("partial failures = %d, want 0", stats.PartialFailures)
+	}
+}
+
+func TestBatchPartialFailureCounter(t *testing.T) {
+	ini, _ := newTestCluster(t, 3)
+	if _, err := ini.PutCtx(nil, testID(0), testPayload(0, 0), osd.ClassHotClean, false); err != nil {
+		t.Fatal(err)
+	}
+	gets := ini.GetBatchCtx(nil, []osd.ObjectID{testID(0), testID(999)})
+	if gets[0].Err != nil {
+		t.Fatalf("present object failed: %v", gets[0].Err)
+	}
+	gets[0].Release()
+	if !errors.Is(gets[1].Err, store.ErrNotFound) {
+		t.Fatalf("missing object: err = %v, want ErrNotFound", gets[1].Err)
+	}
+	if got := ini.BatchCounters().PartialFailures; got != 1 {
+		t.Fatalf("partial failures = %d, want 1", got)
+	}
+}
+
+func TestBatchStaleDirectoryCleanup(t *testing.T) {
+	ini, stores := newTestCluster(t, 3)
+	id := testID(5)
+	if _, err := ini.PutCtx(nil, id, testPayload(5, 0), osd.ClassHotClean, false); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the object behind the initiator's back so the directory entry
+	// goes stale.
+	deleted := false
+	for _, st := range stores {
+		if err := st.Delete(id); err == nil {
+			deleted = true
+			break
+		}
+	}
+	if !deleted {
+		t.Fatal("object not found on any shard store")
+	}
+	gets := ini.GetBatchCtx(nil, []osd.ObjectID{id})
+	if !errors.Is(gets[0].Err, store.ErrNotFound) {
+		t.Fatalf("stale get: err = %v, want ErrNotFound", gets[0].Err)
+	}
+	rs := ini.stripeFor(id)
+	rs.mu.RLock()
+	_, still := rs.objs[id]
+	rs.mu.RUnlock()
+	if still {
+		t.Fatal("stale directory entry survived the batch not-found cleanup")
+	}
+}
+
+// TestBatchMatchesSingleOps pins the semantic contract: a batch observes and
+// produces exactly the state a sequence of single ops would.
+func TestBatchMatchesSingleOps(t *testing.T) {
+	ini, _ := newTestCluster(t, 2)
+	const n = 8
+	ops := make([]target.BatchPut, n)
+	for i := range ops {
+		ops[i] = target.BatchPut{ID: testID(i), Class: osd.ClassDirty, Dirty: true, Data: testPayload(i, 1)}
+	}
+	for i, r := range ini.PutBatchCtx(nil, ops) {
+		if r.Err != nil {
+			t.Fatalf("put %d: %v", i, r.Err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := mustGet(t, ini, testID(i))
+		if !bytes.Equal(got, testPayload(i, 1)) {
+			t.Fatalf("single-op read after batch put: object %d mismatch", i)
+		}
+	}
+}

@@ -129,6 +129,12 @@ type Initiator struct {
 
 	migratedObjects atomic.Int64
 	migratedBytes   atomic.Int64
+
+	// Batch-routing counters (see BatchCounters).
+	batchCalls           atomic.Int64
+	batchSubOps          atomic.Int64
+	batchFanout          atomic.Int64
+	batchPartialFailures atomic.Int64
 }
 
 // New builds an Initiator over the given shards and adopts their existing

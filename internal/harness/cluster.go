@@ -14,6 +14,7 @@ import (
 	"github.com/reo-cache/reo/internal/cluster"
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/hdd"
+	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/store"
 	"github.com/reo-cache/reo/internal/target"
@@ -221,6 +222,10 @@ func ClusterThroughput(loc workload.Locality, opts Options, spec ClusterSpec) (*
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 	)
+	batchN := opts.Batch
+	if batchN < 1 {
+		batchN = 1
+	}
 	errCh := make(chan error, spec.Workers)
 	start := time.Now()
 	for w := 0; w < spec.Workers; w++ {
@@ -228,18 +233,16 @@ func ClusterThroughput(loc workload.Locality, opts Options, spec ClusterSpec) (*
 		go func(w int) {
 			defer wg.Done()
 			var localHits, localBytes, localRetries int64
-			for i, req := range tr.Requests {
-				if req.Object%spec.Workers != w {
-					continue
-				}
+			// issueOne replays a single request with the admission-race
+			// retry loop: races between workers surface as transient
+			// ErrCacheFull; retry so every write in the trace is
+			// acknowledged and the final content stays deterministic.
+			issueOne := func(req workload.Request) (cache.Result, error) {
 				id := objectID(req.Object)
 				var (
 					r   cache.Result
 					err error
 				)
-				// Admission races between workers surface as transient
-				// ErrCacheFull; retry so every write in the trace is
-				// acknowledged and the final content stays deterministic.
 				for attempt := 0; ; attempt++ {
 					if req.Write {
 						r, err = cm.Write(id, Payload(tr, req.Object, req.Version))
@@ -256,10 +259,9 @@ func ClusterThroughput(loc workload.Locality, opts Options, spec ClusterSpec) (*
 					}
 					break
 				}
-				if err != nil {
-					errCh <- fmt.Errorf("cluster request %d (object %d): %w", i, req.Object, err)
-					return
-				}
+				return r, err
+			}
+			settle := func(req workload.Request, r cache.Result) {
 				if req.Write {
 					lastAcked[req.Object] = req.Version
 				}
@@ -269,6 +271,71 @@ func ClusterThroughput(loc workload.Locality, opts Options, spec ClusterSpec) (*
 				localBytes += r.Bytes
 				r.Release()
 				progress.Add(1)
+			}
+			// flush issues the worker's pending same-kind requests as one
+			// batched call; sub-ops refused under admission pressure rerun
+			// through the single-op retry loop.
+			var pend []workload.Request
+			flush := func() error {
+				if len(pend) == 0 {
+					return nil
+				}
+				var (
+					results []cache.Result
+					errsB   []error
+				)
+				if pend[0].Write {
+					ops := make([]cache.BatchWrite, len(pend))
+					for k, rq := range pend {
+						ops[k] = cache.BatchWrite{ID: objectID(rq.Object), Data: Payload(tr, rq.Object, rq.Version)}
+					}
+					results, errsB = cm.WriteBatch(ops)
+				} else {
+					ids := make([]osd.ObjectID, len(pend))
+					for k, rq := range pend {
+						ids[k] = objectID(rq.Object)
+					}
+					results, errsB = cm.ReadBatch(ids)
+				}
+				for k := range results {
+					req := pend[k]
+					r, err := results[k], errsB[k]
+					if errors.Is(err, store.ErrCacheFull) {
+						localRetries++
+						r, err = issueOne(req)
+					}
+					if err != nil {
+						return fmt.Errorf("cluster batch request (object %d): %w", req.Object, err)
+					}
+					settle(req, r)
+				}
+				pend = pend[:0]
+				return nil
+			}
+			for i, req := range tr.Requests {
+				if req.Object%spec.Workers != w {
+					continue
+				}
+				if batchN > 1 {
+					if len(pend) > 0 && (pend[0].Write != req.Write || len(pend) == batchN) {
+						if err := flush(); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					pend = append(pend, req)
+					continue
+				}
+				r, err := issueOne(req)
+				if err != nil {
+					errCh <- fmt.Errorf("cluster request %d (object %d): %w", i, req.Object, err)
+					return
+				}
+				settle(req, r)
+			}
+			if err := flush(); err != nil {
+				errCh <- err
+				return
 			}
 			mu.Lock()
 			hits += localHits
@@ -352,12 +419,23 @@ func ClusterThroughput(loc workload.Locality, opts Options, spec ClusterSpec) (*
 		}
 		opts.OpStats.SetGauge("cluster.migratedObjects", float64(res.MigratedObjects))
 		opts.OpStats.SetGauge("cluster.migratedBytes", float64(res.MigratedBytes))
+		if batchN > 1 {
+			bs := ini.BatchCounters()
+			opts.OpStats.SetGauge("batch.calls", float64(bs.Calls))
+			opts.OpStats.SetGauge("batch.subOps", float64(bs.SubOps))
+			opts.OpStats.SetGauge("batch.fanoutWidth", bs.FanoutWidth())
+			opts.OpStats.SetGauge("batch.partialFailures", float64(bs.PartialFailures))
+		}
 		if spec.Remote || len(spec.Addrs) > 0 {
 			ws := transport.SnapshotWireStats()
 			opts.OpStats.SetGauge("wire.flushes", float64(ws.Flushes))
 			opts.OpStats.SetGauge("wire.frames", float64(ws.Frames))
 			opts.OpStats.SetGauge("bufpool.wireLeases", float64(ws.Leases))
 			opts.OpStats.SetGauge("bufpool.wireReleases", float64(ws.Releases))
+			if batchN > 1 {
+				opts.OpStats.SetGauge("batch.frames", float64(ws.BatchFrames))
+				opts.OpStats.SetGauge("batch.subOpsPerFrame", ws.SubOpsPerBatch())
+			}
 		}
 	}
 	return res, nil

@@ -57,6 +57,11 @@ type Options struct {
 	// -admission); AdmitMinHits tunes its reuse threshold (0 = 1).
 	Admission    cache.AdmissionMode
 	AdmitMinHits int
+	// Batch groups up to N consecutive same-kind trace requests into one
+	// ReadBatch/WriteBatch call during the -remote and -cluster replays
+	// (reobench -batch). 0 or 1 keeps the per-op replay path, whose wire
+	// traffic and output are byte-identical to earlier versions.
+	Batch int
 }
 
 // runConfig stamps the option-level instrumentation and request-lifecycle

@@ -12,6 +12,7 @@ import (
 	"github.com/reo-cache/reo/internal/cache"
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/hdd"
+	"github.com/reo-cache/reo/internal/osd"
 	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/store"
 	"github.com/reo-cache/reo/internal/transport"
@@ -118,6 +119,10 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		return nil, err
 	}
 
+	batchN := opts.Batch
+	if batchN < 1 {
+		batchN = 1
+	}
 	var (
 		next  atomic.Int64
 		hits  atomic.Int64
@@ -130,6 +135,30 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if batchN > 1 {
+				// Batched replay: claim a contiguous span of the trace, then
+				// issue it as ReadBatch/WriteBatch calls over runs of
+				// consecutive same-kind requests.
+				for {
+					base := next.Add(int64(batchN)) - int64(batchN)
+					if base >= int64(len(tr.Requests)) {
+						return
+					}
+					end := base + int64(batchN)
+					if end > int64(len(tr.Requests)) {
+						end = int64(len(tr.Requests))
+					}
+					span := tr.Requests[base:end]
+					for s := 0; s < len(span); {
+						e := workload.BatchEnd(span, s, batchN)
+						if err := replayBatch(cm, tr, span[s:e], &hits, &bytes); err != nil {
+							errCh <- fmt.Errorf("remote batch at %d: %w", base+int64(s), err)
+							return
+						}
+						s = e
+					}
+				}
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(len(tr.Requests)) {
@@ -183,6 +212,10 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		opts.OpStats.SetGauge("wire.bytesPerSyscall", ws.BytesPerFlush())
 		opts.OpStats.SetGauge("bufpool.wireLeases", float64(ws.Leases))
 		opts.OpStats.SetGauge("bufpool.wireReleases", float64(ws.Releases))
+		if batchN > 1 {
+			opts.OpStats.SetGauge("batch.frames", float64(ws.BatchFrames))
+			opts.OpStats.SetGauge("batch.subOpsPerFrame", ws.SubOpsPerBatch())
+		}
 	}
 	return &RemoteResult{
 		Workers:  workers,
@@ -192,4 +225,42 @@ func RemoteThroughput(loc workload.Locality, opts Options, workers, conns int) (
 		Bytes:    bytes.Load(),
 		Elapsed:  elapsed,
 	}, nil
+}
+
+// replayBatch issues one run of same-kind trace requests as a single
+// batched cache call, folding the per-sub-op outcomes into the shared
+// replay counters. A sub-op refused with ErrCacheFull is admission
+// back-pressure between racing workers, exactly as in the per-op loop.
+func replayBatch(cm *cache.Manager, tr *workload.Trace, run []workload.Request, hits, bytes *atomic.Int64) error {
+	var (
+		results []cache.Result
+		errs    []error
+	)
+	if run[0].Write {
+		ops := make([]cache.BatchWrite, len(run))
+		for k, rq := range run {
+			ops[k] = cache.BatchWrite{ID: objectID(rq.Object), Data: Payload(tr, rq.Object, rq.Version)}
+		}
+		results, errs = cm.WriteBatch(ops)
+	} else {
+		ids := make([]osd.ObjectID, len(run))
+		for k, rq := range run {
+			ids[k] = objectID(rq.Object)
+		}
+		results, errs = cm.ReadBatch(ids)
+	}
+	for k := range results {
+		if errs[k] != nil {
+			if errors.Is(errs[k], store.ErrCacheFull) {
+				continue
+			}
+			return fmt.Errorf("object %d: %w", run[k].Object, errs[k])
+		}
+		if results[k].Hit {
+			hits.Add(1)
+		}
+		bytes.Add(results[k].Bytes)
+		results[k].Release()
+	}
+	return nil
 }

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/reo-cache/reo/internal/bufpool"
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/stripe"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+// Vectored store operations: N sub-ops under one lock acquisition and one
+// round of the deferred background checks (auto-recovery, GC trigger,
+// on-demand tracking), so the per-object fixed cost the tiny-object regime
+// pays — lock traffic, deferred-hook bookkeeping — amortises across the
+// batch. Each sub-op keeps exactly the single-op semantics: the same
+// errors, the same per-object virtual-time cost (batching never makes a
+// read or write charge less on the virtual clock — determinism of the
+// replay experiments depends on it), and independent success/failure.
+
+var _ target.BatchTarget = (*Store)(nil)
+
+// GetBatchCtx reads len(ids) objects under a single reader-lock pass,
+// returning one result per id in order. Every successful entry carries a
+// leased pooled buffer the caller must Release. Cancellation drains
+// cleanly: once rc expires, the remaining sub-ops fail with the context
+// error without touching a device.
+func (s *Store) GetBatchCtx(rc *reqctx.Ctx, ids []osd.ObjectID) []target.BatchGetResult {
+	out := make([]target.BatchGetResult, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	if err := rc.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	defer s.autoRecoverCheck()
+	defer s.trackOnDemand(rc)()
+
+	// Objects whose stripes proved unrecoverable mid-read; they are freed
+	// after the reader lock drops (freeing needs the writer lock).
+	var corpses []*object
+
+	s.mu.RLock()
+	for i, id := range ids {
+		if err := rc.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		obj, ok := s.objects[id]
+		if !ok {
+			out[i].Err = fmt.Errorf("%w: %v", ErrNotFound, id)
+			continue
+		}
+		degraded := false
+		statusErr := error(nil)
+		for _, sid := range obj.stripes {
+			st, serr := s.stripes.Status(sid)
+			if serr != nil {
+				statusErr = serr
+				break
+			}
+			if st != stripe.StatusHealthy {
+				degraded = true
+				break
+			}
+		}
+		if statusErr != nil {
+			out[i].Err = statusErr
+			continue
+		}
+		buf := bufpool.Get(obj.size)
+		_, cost, err := s.stripes.ReadInto(rc, obj.stripes, obj.size, buf.Bytes())
+		if err != nil {
+			buf.Release()
+			if errors.Is(err, stripe.ErrUnrecoverable) {
+				corpses = append(corpses, obj)
+				out[i].Err = fmt.Errorf("%w: %v", ErrCorrupted, id)
+			} else {
+				out[i].Err = err
+			}
+			continue
+		}
+		out[i] = target.BatchGetResult{Buf: buf, Cost: cost, Degraded: degraded}
+	}
+	s.mu.RUnlock()
+
+	if len(corpses) > 0 {
+		s.mu.Lock()
+		for _, obj := range corpses {
+			// Re-check under the writer lock: a concurrent Put may have
+			// replaced the entry while the reader lock was down.
+			if cur, ok := s.objects[obj.id]; ok && cur == obj {
+				s.freeObjectLocked(obj)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// PutBatchCtx writes len(ops) objects under a single writer-lock pass,
+// returning one result per op in order. Per-object semantics are identical
+// to PutCtx, including the cancellable write-first overwrite order and the
+// redundancy-budget check; a sub-op that fails (full cache, budget, bad
+// class) does not disturb its batch-mates.
+func (s *Store) PutBatchCtx(rc *reqctx.Ctx, ops []target.BatchPut) []target.BatchPutResult {
+	out := make([]target.BatchPutResult, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	if err := rc.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	defer s.autoRecoverCheck()
+	defer s.gcCheck()
+	defer s.trackOnDemand(rc)()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ops {
+		op := &ops[i]
+		out[i].Cost, out[i].Err = s.putOneLocked(rc, op.ID, op.Data, op.Class, op.Dirty)
+	}
+	return out
+}
+
+// putOneLocked is PutCtx's body under an already-held writer lock — the
+// single-op method and the batch share it so the two paths cannot drift.
+func (s *Store) putOneLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.Class, dirty bool) (time.Duration, error) {
+	if !class.Valid() {
+		return 0, fmt.Errorf("store: invalid class %d", class)
+	}
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	scheme := s.cfg.Policy.SchemeFor(class)
+	if err := s.checkBudgetLocked(id, class, scheme, len(data)); err != nil {
+		return 0, err
+	}
+	prev, hadPrev := s.objects[id]
+	writeFirst := hadPrev && rc.CanCancel()
+	if hadPrev && !writeFirst {
+		// Free the previous version first so its space is reusable.
+		s.stripes.Free(prev.stripes)
+	}
+	ids, cost, err := s.stripes.WriteCtx(rc, data, scheme)
+	if err != nil {
+		if writeFirst {
+			// The previous version was never touched; the object survives
+			// the aborted overwrite unchanged.
+			if errors.Is(err, flash.ErrDeviceFull) {
+				return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
+			}
+			return 0, err
+		}
+		delete(s.objects, id)
+		if errors.Is(err, flash.ErrDeviceFull) {
+			return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
+		}
+		return 0, err
+	}
+	if writeFirst {
+		s.stripes.Free(prev.stripes)
+	}
+	s.objects[id] = &object{id: id, class: class, size: len(data), dirty: dirty, stripes: ids}
+	if s.dir.Exists(id) {
+		if err := s.dir.Update(id, func(info *osd.Info) {
+			info.Size = int64(len(data))
+			info.Class = class
+			info.Dirty = dirty
+		}); err != nil {
+			return 0, err
+		}
+	} else {
+		if err := s.dir.CreateObject(osd.Info{
+			ID: id, Type: osd.TypeUser, Class: class, Size: int64(len(data)), Dirty: dirty,
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return cost, nil
+}

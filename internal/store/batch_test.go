@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/target"
+)
+
+func TestGetBatchVectored(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	const n = 12
+	want := make([][]byte, n)
+	ids := make([]osd.ObjectID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = oid(uint64(i))
+		want[i] = randBytes(int64(i), 600+40*i)
+		if _, err := s.Put(ids[i], want[i], osd.ClassHotClean, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := s.GetBatchCtx(nil, ids)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("sub-op %d: %v", i, r.Err)
+		}
+		if !bytes.Equal(r.Buf.Bytes(), want[i]) {
+			t.Fatalf("sub-op %d: payload mismatch", i)
+		}
+		if r.Cost <= 0 {
+			t.Fatalf("sub-op %d: cost %v, want > 0", i, r.Cost)
+		}
+		r.Release()
+	}
+}
+
+func TestGetBatchPerOpErrors(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	if _, err := s.Put(oid(0), randBytes(1, 512), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(oid(2), randBytes(2, 512), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	results := s.GetBatchCtx(nil, []osd.ObjectID{oid(0), oid(99), oid(2)})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("present objects failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, ErrNotFound) {
+		t.Fatalf("missing object: err = %v, want ErrNotFound", results[1].Err)
+	}
+	results[0].Release()
+	results[2].Release()
+}
+
+func TestPutBatchPerOpErrors(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	ops := []target.BatchPut{
+		{ID: oid(0), Class: osd.ClassHotClean, Data: randBytes(1, 512)},
+		// Does not fit the 5x4MiB store: fails with ErrCacheFull without
+		// disturbing its batch-mates.
+		{ID: oid(1), Class: osd.ClassHotClean, Data: randBytes(2, 30<<20)},
+		{ID: oid(2), Class: osd.Class(250), Data: randBytes(3, 512)},
+		{ID: oid(3), Class: osd.ClassDirty, Dirty: true, Data: randBytes(4, 512)},
+	}
+	results := s.PutBatchCtx(nil, ops)
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("good sub-ops failed: %v / %v", results[0].Err, results[3].Err)
+	}
+	if !errors.Is(results[1].Err, ErrCacheFull) && !errors.Is(results[1].Err, ErrRedundancyFull) {
+		t.Fatalf("oversized sub-op: err = %v, want a capacity error", results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("invalid class accepted")
+	}
+	for _, id := range []osd.ObjectID{oid(0), oid(3)} {
+		buf, _, _, err := s.GetCtx(nil, id)
+		if err != nil {
+			t.Fatalf("read back %v: %v", id, err)
+		}
+		buf.Release()
+	}
+	if _, _, _, err := s.GetCtx(nil, oid(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed sub-op left an object behind: err = %v", err)
+	}
+}
+
+func TestBatchCancellationDrains(t *testing.T) {
+	s := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	if _, err := s.Put(oid(0), randBytes(1, 512), osd.ClassColdClean, false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := reqctx.New(ctx)
+
+	before := s.ObjectCount()
+	gets := s.GetBatchCtx(rc, []osd.ObjectID{oid(0), oid(0)})
+	for i, r := range gets {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("get sub-op %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Buf != nil {
+			t.Fatalf("get sub-op %d: leaked a buffer on cancellation", i)
+		}
+	}
+	puts := s.PutBatchCtx(rc, []target.BatchPut{
+		{ID: oid(10), Class: osd.ClassHotClean, Data: randBytes(2, 256)},
+		{ID: oid(11), Class: osd.ClassHotClean, Data: randBytes(3, 256)},
+	})
+	for i, r := range puts {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("put sub-op %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	if got := s.ObjectCount(); got != before {
+		t.Fatalf("cancelled batch changed object count: %d -> %d", before, got)
+	}
+}
+
+// TestBatchCostParity pins the virtual-time contract: batching amortises
+// wall-clock fixed costs but never changes what a sub-op charges on the
+// virtual clock, so replay experiments are byte-identical either way.
+func TestBatchCostParity(t *testing.T) {
+	data := randBytes(7, 4096)
+	single := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	costPut, err := single.Put(oid(0), data, osd.ClassHotClean, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, costGet, _, err := single.GetCtx(nil, oid(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Release()
+
+	batched := newStore(t, policy.Reo{ParityBudget: 0.4}, 0.4)
+	puts := batched.PutBatchCtx(nil, []target.BatchPut{{ID: oid(0), Class: osd.ClassHotClean, Data: data}})
+	if puts[0].Err != nil {
+		t.Fatal(puts[0].Err)
+	}
+	if puts[0].Cost != costPut {
+		t.Fatalf("put cost drifted: batch %v vs single %v", puts[0].Cost, costPut)
+	}
+	gets := batched.GetBatchCtx(nil, []osd.ObjectID{oid(0)})
+	if gets[0].Err != nil {
+		t.Fatal(gets[0].Err)
+	}
+	if gets[0].Cost != costGet {
+		t.Fatalf("get cost drifted: batch %v vs single %v", gets[0].Cost, costGet)
+	}
+	gets[0].Release()
+}

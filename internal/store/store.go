@@ -301,52 +301,7 @@ func (s *Store) PutCtx(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class osd.C
 	defer s.trackOnDemand(rc)()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	scheme := s.cfg.Policy.SchemeFor(class)
-	if err := s.checkBudgetLocked(id, class, scheme, len(data)); err != nil {
-		return 0, err
-	}
-	prev, hadPrev := s.objects[id]
-	writeFirst := hadPrev && rc.CanCancel()
-	if hadPrev && !writeFirst {
-		// Free the previous version first so its space is reusable.
-		s.stripes.Free(prev.stripes)
-	}
-	ids, cost, err := s.stripes.WriteCtx(rc, data, scheme)
-	if err != nil {
-		if writeFirst {
-			// The previous version was never touched; the object survives
-			// the aborted overwrite unchanged.
-			if errors.Is(err, flash.ErrDeviceFull) {
-				return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
-			}
-			return 0, err
-		}
-		delete(s.objects, id)
-		if errors.Is(err, flash.ErrDeviceFull) {
-			return 0, fmt.Errorf("%w: object %v (%d bytes)", ErrCacheFull, id, len(data))
-		}
-		return 0, err
-	}
-	if writeFirst {
-		s.stripes.Free(prev.stripes)
-	}
-	s.objects[id] = &object{id: id, class: class, size: len(data), dirty: dirty, stripes: ids}
-	if s.dir.Exists(id) {
-		if err := s.dir.Update(id, func(info *osd.Info) {
-			info.Size = int64(len(data))
-			info.Class = class
-			info.Dirty = dirty
-		}); err != nil {
-			return 0, err
-		}
-	} else {
-		if err := s.dir.CreateObject(osd.Info{
-			ID: id, Type: osd.TypeUser, Class: class, Size: int64(len(data)), Dirty: dirty,
-		}); err != nil {
-			return 0, err
-		}
-	}
-	return cost, nil
+	return s.putOneLocked(rc, id, data, class, dirty)
 }
 
 // checkBudgetLocked enforces the reserved redundancy space for hot-clean

@@ -41,6 +41,8 @@ const (
 	OpWriteRange
 	OpList
 	OpSegStats
+	OpGetBatch
+	OpPutBatch
 )
 
 // String returns the op name.
@@ -76,6 +78,10 @@ func (o Op) String() string {
 		return "list"
 	case OpSegStats:
 		return "seg-stats"
+	case OpGetBatch:
+		return "get-batch"
+	case OpPutBatch:
+		return "put-batch"
 	default:
 		return fmt.Sprintf("Op(%d)", byte(o))
 	}
@@ -259,7 +265,7 @@ func decodeRequestInPlace(body []byte) (Request, error) {
 		return Request{}, ErrShortFrame
 	}
 	op := Op(body[0])
-	if op < OpPut || op > OpSegStats {
+	if op < OpPut || op > OpPutBatch {
 		return Request{}, fmt.Errorf("%w: %d", ErrUnknownOp, body[0])
 	}
 	req := Request{

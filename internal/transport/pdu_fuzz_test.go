@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"encoding/hex"
 	"testing"
 	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/target"
 )
 
 // FuzzDecodeRequest throws arbitrary byte strings at the in-place request
@@ -60,6 +62,94 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatal("encode∘decode is not idempotent for request")
 		}
 	})
+}
+
+// FuzzDecodeBatch throws arbitrary byte strings at all four batch sub-op
+// codecs (get/put request and response payloads). No decoder may panic or
+// over-read; accepted payloads must decode in place (object bytes alias the
+// input), and for the codecs with a matching encoder the canonical
+// re-encoding must be a decode fixpoint. Run with:
+// go test -fuzz=FuzzDecodeBatch ./internal/transport
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(uint8(0), encodeBatchIDs([]osd.ObjectID{{PID: 1, OID: 2}, {PID: 3, OID: 4}}))
+	f.Add(uint8(1), encodePutBatch([]target.BatchPut{
+		{ID: osd.ObjectID{PID: 1, OID: 2}, Class: osd.ClassDirty, Dirty: true, Data: []byte("hello wire")},
+		{ID: osd.ObjectID{PID: 3, OID: 4}, Class: osd.ClassColdClean},
+	}))
+	getResp, err := hex.DecodeString(goldenGetBatchRespHex)
+	if err != nil {
+		f.Fatal(err)
+	}
+	putResp, err := hex.DecodeString(goldenPutBatchRespHex)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint8(2), getResp)
+	f.Add(uint8(3), putResp)
+	f.Add(uint8(0), []byte{1, 2, 3})    // not a multiple of the entry size
+	f.Add(uint8(1), make([]byte, 21))   // one short of a put entry header
+	f.Add(uint8(2), make([]byte, 14))   // one short of a get result header
+	f.Add(uint8(3), []byte{0, 0, 0, 0}) // short put result
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		switch kind % 4 {
+		case 0:
+			ids, err := decodeBatchIDs(payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(encodeBatchIDs(ids), payload) {
+				t.Fatal("encode∘decode not identity for get-batch ids")
+			}
+		case 1:
+			ops, err := decodePutBatchInPlace(payload)
+			if err != nil {
+				return
+			}
+			for i := range ops {
+				// In-place decode: data must alias the payload buffer.
+				if len(ops[i].Data) > 0 && !aliases(payload, ops[i].Data) {
+					t.Fatal("put-batch data does not alias the payload")
+				}
+			}
+			// Re-encoding canonicalises bool bytes; it must decode back equal.
+			enc := encodePutBatch(ops)
+			ops2, err := decodePutBatchInPlace(enc)
+			if err != nil || len(ops2) != len(ops) {
+				t.Fatalf("re-encoded put-batch rejected: %v", err)
+			}
+			for i := range ops {
+				if ops2[i].ID != ops[i].ID || ops2[i].Class != ops[i].Class ||
+					ops2[i].Dirty != ops[i].Dirty || !bytes.Equal(ops2[i].Data, ops[i].Data) {
+					t.Fatal("encode∘decode not a fixpoint for put-batch")
+				}
+			}
+		case 2:
+			results, err := decodeGetBatchResults(payload)
+			if err != nil {
+				return
+			}
+			for i := range results {
+				if len(results[i].Data) > 0 && !aliases(payload, results[i].Data) {
+					t.Fatal("get-batch result data does not alias the payload")
+				}
+			}
+		case 3:
+			_, _ = decodePutBatchResults(payload)
+		}
+	})
+}
+
+// aliases reports whether sub points into buf's backing array.
+func aliases(buf, sub []byte) bool {
+	if len(buf) == 0 || len(sub) == 0 {
+		return false
+	}
+	for i := range buf {
+		if &buf[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
 }
 
 // FuzzDecodeResponse is the response-side mirror of FuzzDecodeRequest: no

@@ -265,6 +265,21 @@ func (rt *RemoteTarget) GetCtx(rc *reqctx.Ctx, id osd.ObjectID) (*bufpool.Buf, t
 	return rt.client().GetLeasedCtx(rc, id)
 }
 
+// GetBatchCtx implements target.BatchTarget: the whole batch rides one
+// OpGetBatch frame on one pooled connection (one tick, one window slot).
+func (rt *RemoteTarget) GetBatchCtx(rc *reqctx.Ctx, ids []osd.ObjectID) []target.BatchGetResult {
+	rt.tick()
+	return rt.client().GetBatchCtx(rc, ids)
+}
+
+// PutBatchCtx implements target.BatchTarget over one OpPutBatch frame.
+func (rt *RemoteTarget) PutBatchCtx(rc *reqctx.Ctx, ops []target.BatchPut) []target.BatchPutResult {
+	rt.tick()
+	return rt.client().PutBatchCtx(rc, ops)
+}
+
+var _ target.BatchTarget = (*RemoteTarget)(nil)
+
 // Delete implements target.Target.
 func (rt *RemoteTarget) Delete(id osd.ObjectID) error {
 	rt.tick()

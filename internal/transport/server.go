@@ -380,6 +380,10 @@ func (s *Server) dispatch(req Request) (Response, *bufpool.Buf) {
 	case OpWriteRange:
 		cost, err := s.st.WriteRangeCtx(rc, req.Object, req.Offset, req.Payload)
 		return senseResponse(err, Response{Cost: cost}), nil
+	case OpGetBatch:
+		return s.dispatchGetBatch(rc, req)
+	case OpPutBatch:
+		return s.dispatchPutBatch(rc, req)
 	case OpList:
 		return Response{Sense: osd.SenseOK, Payload: encodeInventory(s.st.ListObjects())}, nil
 	case OpSegStats:

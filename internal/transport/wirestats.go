@@ -16,6 +16,8 @@ var (
 	wireFlushedBytes  atomic.Int64 // total bytes written by flushes
 	wireLeases        atomic.Int64 // pooled frame buffers leased by readers
 	wireReleases      atomic.Int64 // frame leases released or handed off to callers
+	wireBatchFrames   atomic.Int64 // OpGetBatch/OpPutBatch PDUs issued (size > 1)
+	wireBatchSubOps   atomic.Int64 // sub-ops carried inside batch PDUs
 )
 
 // WireStats is a snapshot of the transport's zero-copy/batching counters.
@@ -35,6 +37,18 @@ type WireStats struct {
 	// Result lease protocol). At quiesce they must balance; a gap is a
 	// leaked frame.
 	Leases, Releases int64
+	// BatchFrames counts multi-object PDUs issued (batches of one ride the
+	// plain single-op path and are not counted); BatchSubOps counts the
+	// object operations they carried.
+	BatchFrames, BatchSubOps int64
+}
+
+// SubOpsPerBatch is the mean number of object operations per batch PDU.
+func (w WireStats) SubOpsPerBatch() float64 {
+	if w.BatchFrames == 0 {
+		return 0
+	}
+	return float64(w.BatchSubOps) / float64(w.BatchFrames)
 }
 
 // BytesPerFlush is the mean bytes moved per writer syscall.
@@ -54,5 +68,7 @@ func SnapshotWireStats() WireStats {
 		Bytes:         wireFlushedBytes.Load(),
 		Leases:        wireLeases.Load(),
 		Releases:      wireReleases.Load(),
+		BatchFrames:   wireBatchFrames.Load(),
+		BatchSubOps:   wireBatchSubOps.Load(),
 	}
 }

@@ -382,6 +382,65 @@ func (c *Cache) WriteCtx(ctx context.Context, id ObjectID, data []byte) (Result,
 	return res, nil
 }
 
+// BatchWrite is one object write in a WriteBatch call.
+type BatchWrite = cache.BatchWrite
+
+// ReadBatch serves a batch of reads in one vectored pass: cached objects
+// are partitioned from misses under a single cache-manager lock
+// acquisition and read from flash as one multi-object store operation
+// (one wire frame against a remote target, one per-shard fan-out against a
+// cluster); misses take the ordinary miss path per object. The returned
+// slices parallel ids: each sub-read succeeds or fails independently with
+// the same semantics as Read, and results[i] is only meaningful where
+// errs[i] is nil. Release each successful Result when done with its data.
+func (c *Cache) ReadBatch(ids []ObjectID) ([]Result, []error) {
+	results, errs := c.manager.ReadBatch(ids)
+	c.advanceBatch(results)
+	return results, errs
+}
+
+// ReadBatchCtx is ReadBatch under a context. Cancellation drains the batch
+// cleanly: sub-reads not yet started fail with the context error while
+// completed ones keep their results.
+func (c *Cache) ReadBatchCtx(ctx context.Context, ids []ObjectID) ([]Result, []error) {
+	rc := reqctx.Acquire(ctx)
+	results, errs := c.manager.ReadBatchCtx(rc, ids)
+	reqctx.Release(rc)
+	c.advanceBatch(results)
+	return results, errs
+}
+
+// WriteBatch absorbs a batch of writes in one vectored pass: writes to
+// objects the cache has never seen ride a single multi-object store write;
+// overwrites and duplicate IDs keep the single-op path. Each sub-write
+// succeeds or fails independently with the same semantics (and the same
+// durability guarantee) as Write.
+func (c *Cache) WriteBatch(ops []BatchWrite) ([]Result, []error) {
+	results, errs := c.manager.WriteBatch(ops)
+	c.advanceBatch(results)
+	return results, errs
+}
+
+// WriteBatchCtx is WriteBatch under a context, with WriteCtx's exactness
+// guarantee per sub-write: a sub-write that returns a cancellation error
+// was not acknowledged and left no torn state.
+func (c *Cache) WriteBatchCtx(ctx context.Context, ops []BatchWrite) ([]Result, []error) {
+	rc := reqctx.Acquire(ctx)
+	results, errs := c.manager.WriteBatchCtx(rc, ops)
+	reqctx.Release(rc)
+	c.advanceBatch(results)
+	return results, errs
+}
+
+// advanceBatch charges a batch's summed virtual time to the clock.
+func (c *Cache) advanceBatch(results []Result) {
+	var total time.Duration
+	for i := range results {
+		total += results[i].Latency + results[i].Background
+	}
+	c.clock.Advance(total)
+}
+
 // Preload proactively warms the cache with the given objects (most
 // important first) without evicting anything — the Bonfire-style warm-up
 // accelerator the paper's related work identifies as complementary to Reo.
