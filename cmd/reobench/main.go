@@ -8,7 +8,8 @@
 //	reobench -experiment fig8 -scale 0.015625 -seed 42
 //
 // Experiments: space, fig5, fig6, fig7, fig8, fig9, headline,
-// ablate-recovery, ablate-hotness, ablate-chunk, ablate-wear, writeamp, all.
+// ablate-recovery, ablate-hotness, ablate-chunk, ablate-wear, writeamp,
+// hedge, all.
 //
 // The -scale flag linearly scales object and chunk sizes relative to the
 // paper (1.0 = 4.4MB mean objects ≈ 17GB data set; the default 1/64 keeps
@@ -43,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("reobench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run (space|fig5|fig6|fig7|fig8|fig9|headline|ablate-recovery|ablate-hotness|ablate-chunk|ablate-wear|writeamp|all)")
+		experiment = fs.String("experiment", "all", "which experiment to run (space|fig5|fig6|fig7|fig8|fig9|headline|ablate-recovery|ablate-hotness|ablate-chunk|ablate-wear|writeamp|hedge|all)")
 		scale      = fs.Float64("scale", 1.0/64, "linear size scale vs the paper (1.0 = 4.4MB mean objects)")
 		seed       = fs.Int64("seed", 1, "trace synthesis seed")
 		parallel   = fs.Int("parallel", defaultParallelism(), "concurrent experiment runs")
@@ -60,6 +61,8 @@ func run(args []string) error {
 		asyncRecl  = fs.Bool("async-reclass", false, "run the asynchronous reclassification pipeline instead of the deterministic in-lock refresh (output no longer byte-comparable to golden runs)")
 		chaos      = fs.Bool("chaos", false, "run the chaos soak: replay under injected faults (transient errors, bit-flips, latent sectors, fail-slow, fail-stop) and verify every byte end to end")
 		faultSeed  = fs.Int64("fault-seed", 1, "fault-injection seed for -chaos; the same seed replays the identical fault sequence")
+		hedgeDelay = fs.Duration("hedge-delay", 0, "arm hedged degraded reads at this delay for -chaos and -experiment hedge (0 = hedging off / the hedge experiment's 25µs default)")
+		failSlowF  = fs.Float64("fail-slow-factor", 0, "override the chaos fail-slow factor (0 = default 8; a factor <= 3 keeps the device suspect — the hedged-read regime — instead of crossing the fail threshold)")
 		clusterN   = fs.Int("cluster", 0, "replay against an N-shard consistent-hash cluster (0 = off); combine with -remote for loopback wire shards")
 		clAddrs    = fs.String("cluster-addrs", "", "comma-separated reotarget addresses to use as cluster shards (overrides -cluster's in-process shards)")
 		reotargets = fs.String("reotarget-bin", "", "spawn -cluster N reotarget processes from this binary and replay against them")
@@ -134,7 +137,7 @@ func run(args []string) error {
 	}
 
 	if *chaos {
-		if err := runChaos(*experiment, opts, *faultSeed); err != nil {
+		if err := runChaos(*experiment, opts, *faultSeed, *hedgeDelay, *failSlowF); err != nil {
 			return err
 		}
 		if opts.OpStats != nil {
@@ -172,13 +175,14 @@ func run(args []string) error {
 		"ablate-chunk":    runAblateChunk,
 		"ablate-wear":     runAblateWear,
 		"writeamp":        runWriteAmp,
+		"hedge":           func(o harness.Options) error { return runHedge(o, *hedgeDelay) },
 	}
 	// "all" omits the standalone headline experiment: fig9 already prints
 	// the headline multipliers from its own rows.
 	order := []string{
 		"space", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"ablate-recovery", "ablate-hotness", "ablate-chunk", "ablate-wear",
-		"writeamp",
+		"writeamp", "hedge",
 	}
 
 	names := []string{*experiment}
@@ -207,7 +211,7 @@ func run(args []string) error {
 // fail-slow device and one scheduled fail-stop, with auto recovery and
 // periodic scrub-repair — every read is byte-verified and a final sweep
 // checks the last acknowledged version of every object.
-func runChaos(experiment string, opts harness.Options, faultSeed int64) error {
+func runChaos(experiment string, opts harness.Options, faultSeed int64, hedgeDelay time.Duration, failSlowFactor float64) error {
 	loc := workload.Medium
 	switch experiment {
 	case "fig5":
@@ -216,7 +220,12 @@ func runChaos(experiment string, opts harness.Options, faultSeed int64) error {
 		loc = workload.Strong
 	}
 	start := time.Now()
-	res, err := harness.ChaosRun(loc, opts, harness.DefaultChaos(faultSeed))
+	cc := harness.DefaultChaos(faultSeed)
+	cc.HedgeDelay = hedgeDelay
+	if failSlowFactor > 1 {
+		cc.FailSlowFactor = failSlowFactor
+	}
+	res, err := harness.ChaosRun(loc, opts, cc)
 	if err != nil {
 		return err
 	}
@@ -245,6 +254,15 @@ func runChaos(experiment string, opts harness.Options, faultSeed int64) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if hedgeDelay > 0 {
+		w = table(fmt.Sprintf("-- hedged reads (delay %v) --", hedgeDelay))
+		fmt.Fprintln(w, "fired\twon\tcancelled\tsuppressed")
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n",
+			res.Hedge.Fired, res.Hedge.Won, res.Hedge.Cancelled, res.Hedge.Suppressed)
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
 	w = table("-- device health --")
 	fmt.Fprintln(w, "device\tstate\twindow errs\tslowdown\tretries\texhausted\treason")
 	for i, h := range res.Health {
@@ -256,6 +274,56 @@ func runChaos(experiment string, opts harness.Options, faultSeed int64) error {
 		return err
 	}
 	fmt.Printf("[chaos completed in %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runHedge measures the hedged degraded-read tail: one device 4× fail-slow,
+// the identical deterministic read sequence first with hedging off and then
+// with hedging armed, exact p50/p99 either way. -hedge-delay overrides the
+// scenario's 25µs default; -objects/-requests shrink it for smoke runs.
+func runHedge(opts harness.Options, delay time.Duration) error {
+	cfg := harness.DefaultHedge(opts.Seed)
+	if delay > 0 {
+		cfg.HedgeDelay = delay
+	}
+	if opts.Objects > 0 {
+		cfg.Objects = opts.Objects
+	}
+	if opts.Requests > 0 {
+		cfg.Reads = opts.Requests
+	}
+	off := cfg
+	off.HedgeDelay = 0
+	offRes, err := harness.HedgeRun(off)
+	if err != nil {
+		return err
+	}
+	cfg.OpStats = opts.OpStats
+	onRes, err := harness.HedgeRun(cfg)
+	if err != nil {
+		return err
+	}
+	w := table(fmt.Sprintf("== Hedged degraded reads: device %d at %gx fail-slow, %d reads, hedge delay %v ==",
+		cfg.FailSlowDevice, cfg.FailSlowFactor, cfg.Reads, cfg.HedgeDelay))
+	fmt.Fprintln(w, "variant\tp50\tp99\tmax\tfired\twon\tcancelled\twin rate")
+	for _, row := range []struct {
+		name string
+		r    *harness.HedgeResult
+	}{{"hedging off", offRes}, {"hedged", onRes}} {
+		rate := "-"
+		if row.r.Hedge.Fired > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(row.r.Hedge.Won)/float64(row.r.Hedge.Fired))
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%d\t%d\t%d\t%s\n",
+			row.name, row.r.P50, row.r.P99, row.r.Max,
+			row.r.Hedge.Fired, row.r.Hedge.Won, row.r.Hedge.Cancelled, rate)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if onRes.P99 > 0 {
+		fmt.Printf("p99 improvement: %.2fx\n", float64(offRes.P99)/float64(onRes.P99))
+	}
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/transport"
+)
+
+// runPolicy implements the resilience policy plane:
+//
+//	reoctl policy list
+//	reoctl policy get read.degraded
+//	reoctl policy set read.degraded hedge.delay=200us hedge.max=2
+//
+// Durations accept Go syntax ("200us", "5ms") or plain seconds; on the wire
+// every knob travels as a float64 #TUNE# value.
+func runPolicy(client *transport.Client, rest []string, stdout io.Writer) error {
+	if len(rest) == 0 {
+		return errors.New("policy <list|get|set> ...")
+	}
+	switch rest[0] {
+	case "list":
+		rules, err := client.ResilienceRules()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "class           retry           backoff         timeout  hedge            budget\n")
+		for _, cr := range rules {
+			r := cr.Rule
+			retries := "unbounded"
+			if r.Retry.MaxAttempts > 0 {
+				retries = fmt.Sprintf("%d attempts", r.Retry.MaxAttempts)
+			}
+			hedge := "off"
+			if r.Hedge.Enabled() {
+				if r.Hedge.Delay > 0 {
+					hedge = fmt.Sprintf("%v x%d", r.Hedge.Delay, r.Hedge.MaxHedges)
+				} else {
+					hedge = fmt.Sprintf("p%g x%d", r.Hedge.DelayQuantile*100, r.Hedge.MaxHedges)
+				}
+			}
+			budget := "unlimited"
+			if r.Budget.Rate > 0 {
+				budget = fmt.Sprintf("%g/s", r.Budget.Rate)
+			}
+			timeout := "none"
+			if r.Timeout > 0 {
+				timeout = r.Timeout.String()
+			}
+			fmt.Fprintf(stdout, "%-15s %-15s %v..%v (±%g%%)  %-8s %-16s %s\n",
+				cr.Class, retries, r.Retry.BaseBackoff, r.Retry.MaxBackoff,
+				r.Retry.Jitter*100, timeout, hedge, budget)
+		}
+		return nil
+	case "get":
+		if len(rest) != 2 {
+			return errors.New("policy get <class>")
+		}
+		class, err := policy.ParseOpClass(rest[1])
+		if err != nil {
+			return err
+		}
+		rules, err := client.ResilienceRules()
+		if err != nil {
+			return err
+		}
+		for _, cr := range rules {
+			if cr.Class != class {
+				continue
+			}
+			r := cr.Rule
+			fmt.Fprintf(stdout, "%s:\n", class)
+			fmt.Fprintf(stdout, "  retry.max      = %d\n", r.Retry.MaxAttempts)
+			fmt.Fprintf(stdout, "  retry.base     = %v\n", r.Retry.BaseBackoff)
+			fmt.Fprintf(stdout, "  retry.cap      = %v\n", r.Retry.MaxBackoff)
+			fmt.Fprintf(stdout, "  retry.jitter   = %g\n", r.Retry.Jitter)
+			fmt.Fprintf(stdout, "  timeout        = %v\n", r.Timeout)
+			fmt.Fprintf(stdout, "  hedge.delay    = %v\n", r.Hedge.Delay)
+			fmt.Fprintf(stdout, "  hedge.quantile = %g\n", r.Hedge.DelayQuantile)
+			fmt.Fprintf(stdout, "  hedge.max      = %d\n", r.Hedge.MaxHedges)
+			fmt.Fprintf(stdout, "  budget.rate    = %g\n", r.Budget.Rate)
+			fmt.Fprintf(stdout, "  budget.burst   = %g\n", r.Budget.Burst)
+			return nil
+		}
+		return fmt.Errorf("class %q not in target snapshot", rest[1])
+	case "set":
+		if len(rest) < 3 {
+			return errors.New("policy set <class> <knob>=<value> ...")
+		}
+		class, err := policy.ParseOpClass(rest[1])
+		if err != nil {
+			return err
+		}
+		for _, kv := range rest[2:] {
+			knob, raw, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad assignment %q (want knob=value)", kv)
+			}
+			value, err := parseKnobValue(knob, raw)
+			if err != nil {
+				return err
+			}
+			key := "policy." + class.String() + "." + knob
+			if err := client.Tune(key, value); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "tuned %s = %s\n", key, raw)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown policy subcommand %q (want list|get|set)", rest[0])
+	}
+}
+
+// durationKnobs travel as float seconds but read naturally as durations.
+var durationKnobs = map[string]bool{
+	policy.KnobRetryBase:  true,
+	policy.KnobRetryCap:   true,
+	policy.KnobTimeout:    true,
+	policy.KnobHedgeDelay: true,
+}
+
+// parseKnobValue converts a CLI value to its wire float64: duration knobs
+// accept Go duration syntax ("200us") or plain seconds; everything else is
+// a plain number.
+func parseKnobValue(knob, raw string) (float64, error) {
+	if v, err := strconv.ParseFloat(raw, 64); err == nil {
+		return v, nil
+	}
+	if durationKnobs[knob] {
+		if d, err := time.ParseDuration(raw); err == nil {
+			return d.Seconds(), nil
+		}
+	}
+	return 0, fmt.Errorf("bad value %q for %s", raw, knob)
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCLIPolicy(t *testing.T) {
+	addr := liveServer(t)
+	runCmd := func(args ...string) (string, error) {
+		var out bytes.Buffer
+		err := run(append([]string{"-addr", addr}, args...), strings.NewReader(""), &out)
+		return out.String(), err
+	}
+
+	out, err := runCmd("policy", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"read.hit", "read.degraded", "write.dirty", "wire.dial"} {
+		if !strings.Contains(out, class) {
+			t.Fatalf("policy list missing %q:\n%s", class, out)
+		}
+	}
+	if !strings.Contains(out, "off") || !strings.Contains(out, "unlimited") {
+		t.Fatalf("defaults should show hedging off and unlimited budget:\n%s", out)
+	}
+
+	// The README example: arm hedging on degraded reads at 200µs.
+	out, err = runCmd("policy", "set", "read.degraded", "hedge.delay=200us", "hedge.max=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tuned policy.read.degraded.hedge.delay = 200us") {
+		t.Fatalf("set output: %q", out)
+	}
+	out, err = runCmd("policy", "get", "read.degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hedge.delay    = 200µs") || !strings.Contains(out, "hedge.max      = 2") {
+		t.Fatalf("get after set:\n%s", out)
+	}
+	// Plain-seconds form works too.
+	if _, err := runCmd("policy", "set", "read.degraded", "retry.base=0.0001"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = runCmd("policy", "get", "read.degraded")
+	if !strings.Contains(out, "retry.base     = 100µs") {
+		t.Fatalf("seconds form not applied:\n%s", out)
+	}
+
+	// Errors: bad class, bad knob, bad value, bad shape.
+	if _, err := runCmd("policy", "get", "read.lukewarm"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := runCmd("policy", "set", "read.degraded", "bogus=1"); err == nil {
+		t.Fatal("unknown knob accepted")
+	}
+	if _, err := runCmd("policy", "set", "read.degraded", "hedge.delay=soon"); err == nil {
+		t.Fatal("unparseable value accepted")
+	}
+	if _, err := runCmd("policy", "set", "read.degraded", "hedge.delay"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if _, err := runCmd("policy", "frobnicate"); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

@@ -733,10 +733,14 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 	wantHot := m.hotness(e) >= m.hhot
 	m.mu.Unlock()
 
-	// Flushes are background work: they run under a nil (non-cancellable)
-	// context regardless of which request triggered them, because a flush
-	// abandoned halfway would strand acknowledged dirty data.
-	buf, readCost, _, err := m.cfg.Store.GetCtx(nil, e.id)
+	// Flushes are background work: they run under a non-cancellable
+	// background context regardless of which request triggered them, because
+	// a flush abandoned halfway would strand acknowledged dirty data. The
+	// write.flush op class lets the resilience registry give flush IO its
+	// own retry policy.
+	frc := reqctx.AcquireBackground(nil).WithOpClass(policy.OpWriteFlush)
+	defer reqctx.Release(frc)
+	buf, readCost, _, err := m.cfg.Store.GetCtx(frc, e.id)
 	total := readCost
 	flushed := false
 	clearDirty := false
@@ -767,7 +771,7 @@ func (m *Manager) flushEntryLocked(e *entry) time.Duration {
 		if wantHot {
 			class = osd.ClassHotClean
 		}
-		if cost, rerr := m.cfg.Store.ReclassifyCtx(nil, e.id, class); rerr == nil {
+		if cost, rerr := m.cfg.Store.ReclassifyCtx(frc, e.id, class); rerr == nil {
 			reclassCost = cost
 			reclassOK = true
 		}

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 )
@@ -159,7 +161,10 @@ type Stats struct {
 // Retry policy for transient faults: bounded exponential backoff with
 // deterministic jitter, real (wall-clock) sleeps only — virtual time is
 // charged per attempt from the device spec, so fault-free runs are
-// byte-identical with retries compiled in.
+// byte-identical with retries compiled in. The schedule now comes from the
+// policy.Resilience registry keyed by the request's op class; these
+// constants remain as the reference values the registry's defaults must
+// reproduce (asserted in tests).
 const (
 	maxIOAttempts  = 4
 	retryBaseDelay = 50 * time.Microsecond
@@ -184,6 +189,9 @@ type Device struct {
 	// per-segment bookkeeping, only populated under LayoutLog.
 	layout Layout
 	log    logState
+	// res is the resilience registry retry loops consult; nil serves the
+	// built-in defaults (identical behaviour to the pre-registry constants).
+	res atomic.Pointer[policy.Resilience]
 }
 
 // NewDevice returns a healthy, empty device with the given spec.
@@ -202,6 +210,17 @@ func (d *Device) SetFaultHook(h FaultHook) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.hook = h
+}
+
+// SetResilience points the device's retry loops at a resilience registry
+// (nil restores the built-in defaults). Safe to call on a live device.
+func (d *Device) SetResilience(r *policy.Resilience) {
+	d.res.Store(r)
+}
+
+// resilience returns the registry the retry loops consult (nil-safe).
+func (d *Device) resilience() *policy.Resilience {
+	return d.res.Load()
 }
 
 // Spec returns the device's parameters.
@@ -225,6 +244,15 @@ func (d *Device) Serving() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.state != StateFailed
+}
+
+// Suspect reports whether the health monitor currently distrusts the device
+// (fail-slow or error-storming, but still serving). Hedged reads key off
+// this: a read whose primary replica sits on a suspect device races a hedge.
+func (d *Device) Suspect() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == StateSuspect
 }
 
 // Generation returns the device slot's replacement count.
@@ -297,17 +325,28 @@ func (d *Device) Write(addr ChunkAddr, data []byte) (time.Duration, error) {
 }
 
 func (d *Device) write(rc *reqctx.Ctx, addr ChunkAddr, data []byte) (time.Duration, error) {
+	res := d.resilience()
+	class := rc.OpClass()
+	retry := res.Rule(class).Retry
 	var total time.Duration
 	for attempt := 0; ; attempt++ {
 		cost, err := d.writeOnce(addr, data)
 		total += cost
-		if err == nil || !IsTransient(err) || attempt+1 >= maxIOAttempts {
-			if err != nil && IsTransient(err) {
-				d.noteRetriesExhausted()
-			}
+		res.ObserveAttempt(class, attempt, attemptOutcome(err), cost)
+		if err == nil || !IsTransient(err) {
 			return total, err
 		}
-		if serr := d.backoff(rc, attempt, addr); serr != nil {
+		if retry.MaxAttempts > 0 && attempt+1 >= retry.MaxAttempts {
+			d.noteRetriesExhausted()
+			return total, err
+		}
+		if !res.AllowRetry(class) {
+			res.ObserveAttempt(class, attempt+1, policy.OutcomeDenied, 0)
+			d.noteRetriesExhausted()
+			return total, err
+		}
+		if serr := d.backoff(rc, retry, attempt, addr); serr != nil {
+			res.ObserveAttempt(class, attempt+1, policy.OutcomeCancelled, 0)
 			return total, serr
 		}
 	}
@@ -390,17 +429,28 @@ func (d *Device) Read(addr ChunkAddr) ([]byte, time.Duration, error) {
 // n is the byte count copied out and stored is the full stored chunk length
 // (the transfer the device charged and attributes to the request).
 func (d *Device) read(rc *reqctx.Ctx, addr ChunkAddr, dst []byte) ([]byte, int, int64, time.Duration, error) {
+	res := d.resilience()
+	class := rc.OpClass()
+	retry := res.Rule(class).Retry
 	var total time.Duration
 	for attempt := 0; ; attempt++ {
 		out, n, stored, cost, err := d.readOnce(addr, dst)
 		total += cost
-		if err == nil || !IsTransient(err) || attempt+1 >= maxIOAttempts {
-			if err != nil && IsTransient(err) {
-				d.noteRetriesExhausted()
-			}
+		res.ObserveAttempt(class, attempt, attemptOutcome(err), cost)
+		if err == nil || !IsTransient(err) {
 			return out, n, stored, total, err
 		}
-		if serr := d.backoff(rc, attempt, addr); serr != nil {
+		if retry.MaxAttempts > 0 && attempt+1 >= retry.MaxAttempts {
+			d.noteRetriesExhausted()
+			return out, n, stored, total, err
+		}
+		if !res.AllowRetry(class) {
+			res.ObserveAttempt(class, attempt+1, policy.OutcomeDenied, 0)
+			d.noteRetriesExhausted()
+			return out, n, stored, total, err
+		}
+		if serr := d.backoff(rc, retry, attempt, addr); serr != nil {
+			res.ObserveAttempt(class, attempt+1, policy.OutcomeCancelled, 0)
 			return nil, 0, 0, total, serr
 		}
 	}
@@ -460,26 +510,46 @@ func (d *Device) readOnce(addr ChunkAddr, dst []byte) ([]byte, int, int64, time.
 	return out, n, int64(len(data)), scaleCost(cost, dec.LatencyScale), nil
 }
 
-// backoff sleeps before the next retry attempt: exponential with a
-// deterministic ±25% jitter derived from (addr, attempt), capped, and
-// honouring the request's cancellation/deadline. Sleeps are wall-clock only
-// and never charged to the virtual clock.
-func (d *Device) backoff(rc *reqctx.Ctx, attempt int, addr ChunkAddr) error {
+// backoff sleeps before the next retry attempt: the registry rule's
+// exponential schedule with deterministic jitter derived from (addr,
+// attempt), honouring the request's cancellation/deadline. Sleeps are
+// wall-clock only and never charged to the virtual clock. A cancellation
+// that lands mid-sleep interrupts the sleep immediately — the request does
+// not finish serving out a delay it no longer needs.
+func (d *Device) backoff(rc *reqctx.Ctx, retry policy.RetryRule, attempt int, addr ChunkAddr) error {
 	if err := rc.Err(); err != nil {
 		return err
 	}
-	delay := retryBaseDelay << uint(attempt)
-	if delay > retryMaxDelay {
-		delay = retryMaxDelay
-	}
 	h := mix64(uint64(addr)*0x9E3779B97F4A7C15 + uint64(attempt) + 1)
-	// jitter in [0.75, 1.25)
-	delay = delay*3/4 + time.Duration(h%uint64(delay)/2)
-	time.Sleep(delay)
+	delay := retry.BackoffDelay(attempt, h)
+	if delay > 0 {
+		if done := rc.Done(); done != nil {
+			t := time.NewTimer(delay)
+			select {
+			case <-done:
+				t.Stop()
+			case <-t.C:
+			}
+		} else {
+			time.Sleep(delay)
+		}
+	}
 	d.mu.Lock()
 	d.health.retries++
 	d.mu.Unlock()
 	return rc.Err()
+}
+
+// attemptOutcome classifies an attempt error for the per-attempt timeline.
+func attemptOutcome(err error) policy.AttemptOutcome {
+	switch {
+	case err == nil:
+		return policy.OutcomeOK
+	case IsTransient(err):
+		return policy.OutcomeTransient
+	default:
+		return policy.OutcomeError
+	}
 }
 
 func (d *Device) noteRetriesExhausted() {
@@ -693,6 +763,15 @@ func NewArrayLayout(n int, spec Spec, layout Layout, cfg LogConfig) (*Array, err
 		devices[i] = NewDeviceLayout(spec, layout, cfg)
 	}
 	return &Array{devices: devices}, nil
+}
+
+// SetResilience points every slot's retry loops at the registry (nil
+// restores defaults). Spares inserted later keep the slot's Device object,
+// so the registry survives replacement.
+func (a *Array) SetResilience(r *policy.Resilience) {
+	for _, d := range a.devices {
+		d.SetResilience(r)
+	}
 }
 
 // N returns the number of device slots.

@@ -43,6 +43,10 @@ type ChaosConfig struct {
 	RecoveryPerRequest int
 	// WriteRatio is the trace's write fraction (dirty data must survive).
 	WriteRatio float64
+	// HedgeDelay, when positive, arms hedged degraded reads (policy class
+	// read.degraded, MaxHedges 4) for the soak. Zero — the default — keeps
+	// hedging off and the soak byte-identical to the pre-hedging harness.
+	HedgeDelay time.Duration
 }
 
 // DefaultChaos returns the soak the acceptance criteria describe: transient
@@ -98,6 +102,9 @@ type ChaosResult struct {
 	// last-acknowledged version in the post-soak integrity sweep (every
 	// live object is checked; a mismatch fails the run instead).
 	Verified int
+	// Hedge is the hedged-read lifecycle tally (all zero unless
+	// ChaosConfig.HedgeDelay armed hedging).
+	Hedge policy.HedgeStats
 }
 
 // ChaosRun replays a synthesized trace (with writes) through a Reo system
@@ -125,6 +132,11 @@ func ChaosRun(loc workload.Locality, opts Options, chaos ChaosConfig) (*ChaosRes
 	}), tr)
 	if err != nil {
 		return nil, err
+	}
+	if chaos.HedgeDelay > 0 {
+		rule := policy.DefaultRule(policy.OpReadDegraded)
+		rule.Hedge = policy.HedgeRule{Delay: chaos.HedgeDelay, MaxHedges: 4}
+		sys.Store.Resilience().SetRule(policy.OpReadDegraded, rule)
 	}
 
 	// Warm the cache fault-free so the soak hits a populated steady state.
@@ -202,6 +214,7 @@ func ChaosRun(loc workload.Locality, opts Options, chaos ChaosConfig) (*ChaosRes
 
 	out.Faults = inj.Counters()
 	out.Store = sys.Store.FaultStats()
+	out.Hedge = sys.Store.Resilience().HedgeStats()
 	arr := sys.Store.Array()
 	for i := 0; i < arr.N(); i++ {
 		out.Health = append(out.Health, arr.Device(i).Health())
@@ -241,4 +254,5 @@ func recordChaosGauges(h *metrics.OpHistogram, out *ChaosResult) {
 	h.SetGauge("device.health.suspect", float64(suspect))
 	h.SetGauge("device.health.failed", float64(failed))
 	h.SetGauge("recovery.auto_starts", float64(out.Store.AutoRecoveries))
+	recordHedgeGauges(h, out.Hedge)
 }

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/reo-cache/reo/internal/policy"
 )
 
 // Priority distinguishes client-facing requests from background work.
@@ -80,6 +82,7 @@ type Ctx struct {
 	id          uint64
 	priority    Priority
 	classHint   int
+	opClass     policy.OpClass
 	deadline    time.Time
 	hasDeadline bool
 	stats       Stats
@@ -101,6 +104,7 @@ func Acquire(ctx context.Context) *Ctx {
 	rc.id = nextID.Add(1)
 	rc.priority = OnDemand
 	rc.classHint = NoClassHint
+	rc.opClass = policy.OpDefault
 	rc.deadline, rc.hasDeadline = time.Time{}, false
 	if ctx != nil {
 		if d, ok := ctx.Deadline(); ok {
@@ -166,6 +170,25 @@ func (rc *Ctx) WithClassHint(class int) *Ctx {
 		rc.classHint = class
 	}
 	return rc
+}
+
+// WithOpClass tags the request with its resilience op class and returns rc
+// for chaining. The class keys the policy.Resilience registry lookup the
+// device and transport layers do for this request. No-op on nil.
+func (rc *Ctx) WithOpClass(class policy.OpClass) *Ctx {
+	if rc != nil {
+		rc.opClass = class
+	}
+	return rc
+}
+
+// OpClass returns the request's resilience op class. A nil context is
+// OpDefault, so untagged legacy paths resolve the default rule.
+func (rc *Ctx) OpClass() policy.OpClass {
+	if rc == nil {
+		return policy.OpDefault
+	}
+	return rc.opClass
 }
 
 // WithDeadline sets (or tightens) the request deadline and returns rc.
@@ -266,6 +289,48 @@ func (rc *Ctx) CanCancel() bool {
 		return true
 	}
 	return rc.ctx != nil && rc.ctx.Done() != nil
+}
+
+// Fork derives an independently cancellable child context for a hedged or
+// speculative attempt: the child inherits the parent's identity (ID,
+// priority, class hint, op class, deadline) and cancellation — cancelling
+// the parent cancels the child — but the returned CancelFunc aborts only the
+// child, which is how a losing hedge is reaped without touching the primary.
+// The child has its own Stats; fold them back with AbsorbStats after joining.
+// Release the child (after the goroutine using it has fully stopped) like
+// any Acquired context. Fork of nil forks a background context: the child is
+// cancellable even though the parent never was.
+func Fork(rc *Ctx) (*Ctx, context.CancelFunc) {
+	parent := context.Background()
+	if rc != nil && rc.ctx != nil {
+		parent = rc.ctx
+	}
+	ctx, cancel := context.WithCancel(parent)
+	child := Acquire(ctx)
+	if rc != nil {
+		child.id = rc.id
+		child.priority = rc.priority
+		child.classHint = rc.classHint
+		child.opClass = rc.opClass
+		child.deadline, child.hasDeadline = rc.deadline, rc.hasDeadline
+	}
+	return child, cancel
+}
+
+// AbsorbStats folds a joined child's IO counters into rc, so work done by a
+// hedge attempt stays attributed to the request that spawned it. Safe when
+// either side is nil; call only after the child's goroutine has stopped.
+func (rc *Ctx) AbsorbStats(child *Ctx) {
+	if rc == nil || child == nil {
+		return
+	}
+	s, c := &rc.stats, &child.stats
+	s.DeviceReads.Add(c.DeviceReads.Load())
+	s.DeviceWrites.Add(c.DeviceWrites.Load())
+	s.DeviceBytesRead.Add(c.DeviceBytesRead.Load())
+	s.DeviceBytesWritten.Add(c.DeviceBytesWritten.Load())
+	s.BackendReads.Add(c.BackendReads.Load())
+	s.BackendWrites.Add(c.BackendWrites.Load())
 }
 
 // Stats returns the request's IO counters (nil for a nil context).

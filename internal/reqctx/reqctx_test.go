@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"github.com/reo-cache/reo/internal/policy"
 )
 
 func TestNilCtxIsBackgroundAndInert(t *testing.T) {
@@ -169,4 +171,79 @@ func TestNextIDNonZeroUniqueAndShared(t *testing.T) {
 	if c := NextID(); c <= rc.ID() {
 		t.Fatalf("NextID %d did not advance past Acquire ID %d", c, rc.ID())
 	}
+}
+
+func TestOpClassThreading(t *testing.T) {
+	var nilRC *Ctx
+	if nilRC.OpClass() != policy.OpDefault {
+		t.Fatal("nil context must report the default op class")
+	}
+	nilRC.WithOpClass(policy.OpReadDegraded) // no-op, must not panic
+
+	rc := Acquire(context.Background())
+	if rc.OpClass() != policy.OpDefault {
+		t.Fatalf("fresh context class = %v", rc.OpClass())
+	}
+	rc.WithOpClass(policy.OpReadDegraded)
+	if rc.OpClass() != policy.OpReadDegraded {
+		t.Fatalf("class after WithOpClass = %v", rc.OpClass())
+	}
+	Release(rc)
+	// Pooled reuse must not leak the class into the next request.
+	rc2 := Acquire(context.Background())
+	defer Release(rc2)
+	if rc2.OpClass() != policy.OpDefault {
+		t.Fatalf("reacquired context class = %v (leaked)", rc2.OpClass())
+	}
+}
+
+func TestForkInheritsAndCancelsIndependently(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rc := Acquire(ctx).WithPriority(Background).WithClassHint(2).WithOpClass(policy.OpReadDegraded)
+	defer Release(rc)
+
+	child, childCancel := Fork(rc)
+	if child.ID() != rc.ID() || child.Priority() != Background ||
+		child.ClassHint() != 2 || child.OpClass() != policy.OpReadDegraded {
+		t.Fatalf("child did not inherit identity: id=%d pri=%v hint=%d class=%v",
+			child.ID(), child.Priority(), child.ClassHint(), child.OpClass())
+	}
+	if !child.CanCancel() {
+		t.Fatal("forked child must be cancellable")
+	}
+	// Cancelling the child leaves the parent alive.
+	childCancel()
+	if child.Err() == nil {
+		t.Fatal("cancelled child must report an error")
+	}
+	if rc.Err() != nil {
+		t.Fatalf("parent must survive child cancel, got %v", rc.Err())
+	}
+	child.CountDeviceRead(512)
+	rc.AbsorbStats(child)
+	Release(child)
+	if rc.Stats().DeviceReads.Load() != 1 || rc.Stats().DeviceBytesRead.Load() != 512 {
+		t.Fatal("AbsorbStats did not fold the child's counters")
+	}
+
+	// Cancelling the parent cancels a (new) child.
+	child2, cancel2 := Fork(rc)
+	defer cancel2()
+	cancel()
+	if child2.Err() == nil {
+		t.Fatal("parent cancel must propagate to the forked child")
+	}
+	Release(child2)
+
+	// Fork of nil yields a cancellable background child.
+	c3, cancel3 := Fork(nil)
+	if !c3.CanCancel() {
+		t.Fatal("Fork(nil) child must be cancellable")
+	}
+	cancel3()
+	if c3.Err() == nil {
+		t.Fatal("Fork(nil) child must observe its cancel")
+	}
+	Release(c3)
 }

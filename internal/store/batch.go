@@ -8,6 +8,7 @@ import (
 	"github.com/reo-cache/reo/internal/bufpool"
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/stripe"
 	"github.com/reo-cache/reo/internal/target"
@@ -75,8 +76,14 @@ func (s *Store) GetBatchCtx(rc *reqctx.Ctx, ids []osd.ObjectID) []target.BatchGe
 			out[i].Err = statusErr
 			continue
 		}
+		class := policy.OpReadHit
+		if degraded {
+			class = policy.OpReadDegraded
+		}
+		prevClass := s.enterOpClass(rc, class)
 		buf := bufpool.Get(obj.size)
 		_, cost, err := s.stripes.ReadInto(rc, obj.stripes, obj.size, buf.Bytes())
+		rc.WithOpClass(prevClass)
 		if err != nil {
 			buf.Release()
 			if errors.Is(err, stripe.ErrUnrecoverable) {
@@ -152,7 +159,12 @@ func (s *Store) putOneLocked(rc *reqctx.Ctx, id osd.ObjectID, data []byte, class
 		// Free the previous version first so its space is reusable.
 		s.stripes.Free(prev.stripes)
 	}
+	prevClass := rc.OpClass()
+	if dirty {
+		s.enterOpClass(rc, policy.OpWriteDirty)
+	}
 	ids, cost, err := s.stripes.WriteCtx(rc, data, scheme)
+	rc.WithOpClass(prevClass)
 	if err != nil {
 		if writeFirst {
 			// The previous version was never touched; the object survives

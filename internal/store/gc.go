@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/reo-cache/reo/internal/flash"
@@ -187,6 +188,9 @@ func (s *Store) tune(cmd osd.TuneCommand) error {
 		}
 		return nil
 	default:
+		if strings.HasPrefix(cmd.Key, "policy.") {
+			return s.res.Tune(strings.TrimPrefix(cmd.Key, "policy."), cmd.Value)
+		}
 		return fmt.Errorf("store: unknown tune key %q", cmd.Key)
 	}
 }

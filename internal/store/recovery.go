@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
 	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/stripe"
 )
@@ -156,6 +157,8 @@ func (s *Store) RecoverStepCtx(rc *reqctx.Ctx, maxObjects int) (cost time.Durati
 	if maxObjects <= 0 {
 		return 0, 0, !s.RecoveryActive(), nil
 	}
+	prevClass := s.enterOpClass(rc, policy.OpRecoverBG)
+	defer rc.WithOpClass(prevClass)
 	yielding := rc != nil && !rc.OnDemand()
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,12 +1,27 @@
 package store
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"github.com/reo-cache/reo/internal/osd"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/stripe"
 )
+
+// scrubCtx builds the background request context scrub IO runs under: the
+// scrub.bg op class resolves the pass's retry policy and timeout.
+func (s *Store) scrubCtx() *reqctx.Ctx {
+	rc := reqctx.New(context.Background()).
+		WithPriority(reqctx.Background).
+		WithOpClass(policy.OpScrubBG)
+	if t := s.res.Rule(policy.OpScrubBG).Timeout; t > 0 {
+		rc.WithDeadline(time.Now().Add(t))
+	}
+	return rc
+}
 
 // ScrubReport summarises a store-level verification pass.
 type ScrubReport struct {
@@ -45,7 +60,7 @@ type ScrubRepairReport struct {
 // returns the report and the virtual-time IO cost of the pass. Scrub only
 // detects; ScrubRepair is the variant that also acts on what it finds.
 func (s *Store) Scrub() (ScrubReport, time.Duration, error) {
-	res, cost, err := s.stripes.Scrub()
+	res, cost, err := s.stripes.ScrubCtx(s.scrubCtx())
 	if err != nil {
 		return ScrubReport{}, cost, err
 	}
@@ -90,7 +105,7 @@ func (s *Store) buildScrubReport(res stripe.ScrubResult) ScrubReport {
 // Dirty objects are never invalidated — their flash copy is the only copy —
 // and are reported instead.
 func (s *Store) ScrubRepair() (ScrubRepairReport, time.Duration, error) {
-	res, cost, err := s.stripes.Scrub()
+	res, cost, err := s.stripes.ScrubCtx(s.scrubCtx())
 	if err != nil {
 		return ScrubRepairReport{}, cost, err
 	}

@@ -1,0 +1,248 @@
+package stripe
+
+// Hedged degraded reads: when the health monitor marks a device suspect
+// (fail-slow), a read whose primary path would wait on that device races a
+// second attempt — another replica, or a parity reconstruction that avoids
+// every suspect device — fired after the policy's hedge delay. First success
+// wins in virtual time; the loser is cancelled through the regular reqctx
+// cancellation path.
+//
+// Determinism: the primary runs inline on the caller's goroutine and the
+// hedge on a forked, independently cancellable child. Both attempts report
+// virtual-time costs that are pure functions of the (deterministic) fault
+// schedule, so the winner — min(primaryCost, delay+hedgeCost) — does not
+// depend on wall-clock interleaving. When the primary's virtual cost is
+// within the hedge delay the hedge provably cannot win and is cancelled
+// immediately (the one genuinely asynchronous cancel, exercising the
+// interruptible-backoff path); otherwise the hedge runs to its natural
+// outcome before the winner is picked. Hedging is strictly opt-in: with the
+// default registry (MaxHedges 0) every read takes readStripePrimary
+// untouched.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
+	"github.com/reo-cache/reo/internal/simclock"
+)
+
+// SetResilience points the manager's hedged-read gate at a resilience
+// registry (nil disables hedging). Safe to call on a live manager.
+func (m *Manager) SetResilience(r *policy.Resilience) { m.res.Store(r) }
+
+// hedgePlan is an armed hedge: the gate found a suspect primary and a
+// healthy alternative, resolved the policy delay, and claimed an in-flight
+// hedge slot (which readStripeHedged must release via FinishHedge).
+type hedgePlan struct {
+	class policy.OpClass
+	delay time.Duration
+	// replicaDev is the healthy replica the hedge reads (replicate kind);
+	// -1 selects the parity-reconstruction hedge.
+	replicaDev int
+	// avoid marks suspect device slots the reconstruction must not touch.
+	avoid map[int]bool
+}
+
+// hedgePlan decides whether this stripe read should race a hedge. The fast
+// path out — hedging unarmed — costs two atomic loads, so default-policy
+// runs stay byte-identical. The caller holds the stripe's read lock.
+func (m *Manager) hedgePlan(id ID, meta *stripeMeta) (hedgePlan, bool) {
+	res := m.res.Load()
+	if res == nil {
+		return hedgePlan{}, false
+	}
+	const class = policy.OpReadDegraded
+	delay, ok := res.HedgeDelay(class)
+	if !ok {
+		return hedgePlan{}, false
+	}
+	if meta.scheme.Kind == policy.KindReplicate {
+		n := len(meta.replicaDevs)
+		if n < 2 {
+			return hedgePlan{}, false
+		}
+		start := int(uint64(id) % uint64(n))
+		primary := meta.replicaDevs[start]
+		if !m.array.Device(primary).Suspect() || !m.chunkPresent(id, primary) {
+			return hedgePlan{}, false
+		}
+		// Hedge target: the next replica in rotation order that is serving,
+		// trusted, and actually holds the chunk.
+		for i := 1; i < n; i++ {
+			dev := meta.replicaDevs[(start+i)%n]
+			d := m.array.Device(dev)
+			if d.Serving() && !d.Suspect() && m.chunkPresent(id, dev) {
+				if !res.TryStartHedge(class) {
+					return hedgePlan{}, false
+				}
+				return hedgePlan{class: class, delay: delay, replicaDev: dev}, true
+			}
+		}
+		return hedgePlan{}, false
+	}
+	// Parity kind: the primary path reads every data chunk, so one suspect
+	// data device drags the whole stripe. Hedge by reconstructing from the
+	// trusted survivors, treating suspect devices as missing — feasible when
+	// the suspects fit within the parity budget and enough trusted fragments
+	// exist.
+	k := len(meta.parityDevs)
+	if k == 0 {
+		return hedgePlan{}, false
+	}
+	suspects := 0
+	avoid := make(map[int]bool, k)
+	for _, dev := range meta.dataDevs {
+		if !m.chunkPresent(id, dev) {
+			// Already degraded: the primary path reconstructs anyway, and a
+			// second reconstruction would race it for the same survivors.
+			return hedgePlan{}, false
+		}
+		if m.array.Device(dev).Suspect() {
+			suspects++
+			avoid[dev] = true
+		}
+	}
+	if suspects == 0 || suspects > k {
+		return hedgePlan{}, false
+	}
+	trusted := len(meta.dataDevs) - suspects
+	for _, dev := range meta.parityDevs {
+		d := m.array.Device(dev)
+		if d.Suspect() {
+			avoid[dev] = true
+			continue
+		}
+		if d.Serving() && m.chunkPresent(id, dev) {
+			trusted++
+		}
+	}
+	if trusted < len(meta.dataDevs) {
+		return hedgePlan{}, false
+	}
+	if !res.TryStartHedge(class) {
+		return hedgePlan{}, false
+	}
+	return hedgePlan{class: class, delay: delay, replicaDev: -1, avoid: avoid}, true
+}
+
+// readStripeHedged races the primary read against the plan's hedge. The
+// caller holds the stripe's read lock; the hedge goroutine is always joined
+// before returning, so the lock covers it too.
+func (m *Manager) readStripeHedged(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte, plan hedgePlan) (time.Duration, error) {
+	res := m.res.Load()
+	// A hedged read is a degraded-confidence read: retag the request so both
+	// attempts resolve the read.degraded retry rule and timeline label.
+	prevClass := rc.OpClass()
+	rc.WithOpClass(plan.class)
+	defer rc.WithOpClass(prevClass)
+
+	child, cancel := reqctx.Fork(rc)
+	scratch := make([]byte, len(dst))
+	type hedgeOutcome struct {
+		cost time.Duration
+		err  error
+	}
+	done := make(chan hedgeOutcome, 1)
+	go func() {
+		cost, err := m.readHedge(child, id, meta, scratch, plan)
+		done <- hedgeOutcome{cost: cost, err: err}
+	}()
+
+	pCost, pErr := m.readStripePrimary(rc, id, meta, dst)
+
+	if pErr == nil && pCost <= plan.delay {
+		// The primary finished before the hedge would have fired: cancel the
+		// hedge through the reqctx path and reap it. Not counted as fired.
+		cancel()
+		<-done
+		rc.AbsorbStats(child)
+		reqctx.Release(child)
+		res.FinishHedge(plan.class, false, false)
+		return pCost, nil
+	}
+
+	// The race is live. Let the hedge run to its natural outcome so the
+	// virtual-time winner is deterministic, then reap it.
+	ho := <-done
+	cancel()
+	rc.AbsorbStats(child)
+	reqctx.Release(child)
+
+	hCost := plan.delay + ho.cost
+	won := ho.err == nil && (pErr != nil || hCost < pCost)
+	res.FinishHedge(plan.class, true, won)
+	if won {
+		copy(dst, scratch)
+		return hCost, nil
+	}
+	return pCost, pErr
+}
+
+// readHedge performs the hedge attempt into dst under the forked child
+// context: a direct read of the chosen healthy replica, or a parity
+// reconstruction that avoids every suspect device. Unlike the primary
+// degraded path it never repairs on read — the data it rebuilds is not
+// missing, just slow.
+func (m *Manager) readHedge(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte, plan hedgePlan) (time.Duration, error) {
+	if plan.replicaDev >= 0 {
+		_, cost, err := m.array.Device(plan.replicaDev).ReadInto(rc, flash.ChunkAddr(id), dst)
+		return cost, err
+	}
+	return m.reconstructAvoiding(rc, id, meta, dst, plan.avoid)
+}
+
+// reconstructAvoiding rebuilds the stripe's data from fragments on devices
+// outside avoid, decoding the avoided chunks from parity.
+func (m *Manager) reconstructAvoiding(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte, avoid map[int]bool) (time.Duration, error) {
+	dataChunks := len(meta.dataDevs)
+	k := len(meta.parityDevs)
+	fragments := make([][]byte, dataChunks+k)
+	costs := make([]time.Duration, dataChunks+k)
+	read := func(idx, dev int) {
+		if avoid[dev] || !m.chunkPresent(id, dev) {
+			return
+		}
+		data, cost, err := m.array.Device(dev).ReadCtx(rc, flash.ChunkAddr(id))
+		if err != nil {
+			return
+		}
+		fragments[idx] = data
+		costs[idx] = cost
+	}
+	_ = fanChunks(dataChunks+k, meta.chunkLen, func(i int) error {
+		if i < dataChunks {
+			read(i, meta.dataDevs[i])
+		} else {
+			read(i, meta.parityDevs[i-dataChunks])
+		}
+		return nil
+	})
+	if err := rc.Err(); err != nil {
+		return 0, err
+	}
+	available := 0
+	for _, f := range fragments {
+		if f != nil {
+			available++
+		}
+	}
+	if available < dataChunks {
+		return 0, fmt.Errorf("%w: stripe %d hedge (%d of %d fragments)", ErrUnrecoverable, id, available, dataChunks)
+	}
+	codec, err := m.codec(dataChunks, k)
+	if err != nil {
+		return 0, err
+	}
+	if err := codec.Reconstruct(fragments); err != nil {
+		return 0, fmt.Errorf("stripe %d hedge: %w", id, err)
+	}
+	decodeCost := simclock.TransferTime(int64(dataChunks*meta.chunkLen), encodeBandwidth)
+	written := 0
+	for i := 0; i < dataChunks && written < len(dst); i++ {
+		written += copy(dst[written:], fragments[i])
+	}
+	return simclock.Parallel(costs...) + decodeCost, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/reo-cache/reo/internal/flash"
 	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/reqctx"
 	"github.com/reo-cache/reo/internal/simclock"
 )
 
@@ -35,11 +36,22 @@ type ScrubResult struct {
 // while verifying it, so foreground reads and writes to other stripes are
 // never blocked behind the scrub.
 func (m *Manager) Scrub() (ScrubResult, time.Duration, error) {
+	return m.ScrubCtx(nil)
+}
+
+// ScrubCtx is Scrub driven by a request context: device reads carry the
+// context's op class (scrub.bg when the store drives it), so scrub IO
+// resolves its own retry policy, and cancellation stops the pass at the
+// next stripe boundary.
+func (m *Manager) ScrubCtx(rc *reqctx.Ctx) (ScrubResult, time.Duration, error) {
 	var (
 		res   ScrubResult
 		total time.Duration
 	)
 	for _, id := range m.IDs() {
+		if err := rc.Err(); err != nil {
+			return res, total, err
+		}
 		m.mu.RLock()
 		meta, ok := m.stripes[id]
 		m.mu.RUnlock()
@@ -58,7 +70,7 @@ func (m *Manager) Scrub() (ScrubResult, time.Duration, error) {
 			meta.mu.RUnlock()
 			continue
 		}
-		ok, cost, err := m.verifyStripe(id, meta)
+		ok, cost, err := m.verifyStripe(rc, id, meta)
 		meta.mu.RUnlock()
 		total += cost
 		if err != nil {
@@ -75,18 +87,18 @@ func (m *Manager) Scrub() (ScrubResult, time.Duration, error) {
 
 // verifyStripe checks one stripe's redundancy. The caller holds the
 // stripe's read lock.
-func (m *Manager) verifyStripe(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+func (m *Manager) verifyStripe(rc *reqctx.Ctx, id ID, meta *stripeMeta) (bool, time.Duration, error) {
 	if meta.scheme.Kind == policy.KindReplicate {
-		return m.verifyReplicated(id, meta)
+		return m.verifyReplicated(rc, id, meta)
 	}
-	return m.verifyParity(id, meta)
+	return m.verifyParity(rc, id, meta)
 }
 
-func (m *Manager) verifyReplicated(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+func (m *Manager) verifyReplicated(rc *reqctx.Ctx, id ID, meta *stripeMeta) (bool, time.Duration, error) {
 	copies := make([][]byte, len(meta.replicaDevs))
 	costs := make([]time.Duration, len(meta.replicaDevs))
 	_ = fanChunks(len(meta.replicaDevs), meta.chunkLen, func(i int) error {
-		data, cost, err := m.array.Device(meta.replicaDevs[i]).Read(flash.ChunkAddr(id))
+		data, cost, err := m.array.Device(meta.replicaDevs[i]).ReadCtx(rc, flash.ChunkAddr(id))
 		if err != nil {
 			return nil // missing replicas are Degraded, handled by caller
 		}
@@ -110,7 +122,7 @@ func (m *Manager) verifyReplicated(id ID, meta *stripeMeta) (bool, time.Duration
 	return true, simclock.Parallel(costs...), nil
 }
 
-func (m *Manager) verifyParity(id ID, meta *stripeMeta) (bool, time.Duration, error) {
+func (m *Manager) verifyParity(rc *reqctx.Ctx, id ID, meta *stripeMeta) (bool, time.Duration, error) {
 	k := len(meta.parityDevs)
 	if k == 0 {
 		// Nothing to cross-check on 0-parity stripes.
@@ -121,7 +133,7 @@ func (m *Manager) verifyParity(id ID, meta *stripeMeta) (bool, time.Duration, er
 	fragments := make([][]byte, dataChunks+k)
 	costs := make([]time.Duration, dataChunks+k)
 	_ = fanChunks(len(allDevs), meta.chunkLen, func(i int) error {
-		data, cost, err := m.array.Device(allDevs[i]).Read(flash.ChunkAddr(id))
+		data, cost, err := m.array.Device(allDevs[i]).ReadCtx(rc, flash.ChunkAddr(id))
 		if err != nil {
 			return nil
 		}

@@ -131,6 +131,11 @@ type Manager struct {
 
 	// repairedChunks counts chunks persisted by repair-on-read.
 	repairedChunks atomic.Int64
+
+	// res is the resilience registry the hedged-read gate consults; nil (or
+	// a registry with hedging off, the default) leaves every read on the
+	// plain primary path.
+	res atomic.Pointer[policy.Resilience]
 }
 
 // Option customises a Manager.
@@ -562,9 +567,19 @@ func (m *Manager) ReadInto(rc *reqctx.Ctx, ids []ID, size int, dst []byte) (int,
 
 // readStripeInto reads one stripe into dst (which may be shorter than the
 // stripe's data when the object size trims the tail). The caller holds the
-// stripe's lock. Falls back to the allocating reconstruct path for degraded
-// stripes, copying the result into dst.
+// stripe's lock. When the resilience policy arms hedging and the stripe's
+// primary path sits on a suspect (fail-slow) device, the read races a hedge
+// (see hedge.go); otherwise it is the plain primary read.
 func (m *Manager) readStripeInto(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte) (time.Duration, error) {
+	if plan, ok := m.hedgePlan(id, meta); ok {
+		return m.readStripeHedged(rc, id, meta, dst, plan)
+	}
+	return m.readStripePrimary(rc, id, meta, dst)
+}
+
+// readStripePrimary is the un-hedged stripe read: the zero-alloc healthy
+// path with the allocating reconstruct fallback for degraded stripes.
+func (m *Manager) readStripePrimary(rc *reqctx.Ctx, id ID, meta *stripeMeta, dst []byte) (time.Duration, error) {
 	if meta.scheme.Kind == policy.KindReplicate {
 		cost, ok, err := m.readReplicatedInto(rc, id, meta, dst)
 		if ok || err != nil {

@@ -616,8 +616,22 @@ func (c *Client) SegStats() ([]flash.SegmentStats, error) {
 	return decodeSegStats(resp.Payload)
 }
 
-// Tune sets one named target-side knob (e.g. "gc.trigger", "gc.target") via
-// a #TUNE# control message.
+// ResilienceRules fetches the target's per-op-class resilience policy
+// snapshot (retry, timeout, hedging, budget) in registry order.
+func (c *Client) ResilienceRules() ([]policy.ClassRule, error) {
+	resp, frame, err := c.roundTripFrame(nil, Request{Op: OpResilience})
+	if err != nil {
+		return nil, err
+	}
+	defer releaseFrame(frame)
+	if err := senseError(resp); err != nil {
+		return nil, err
+	}
+	return decodeResilience(resp.Payload)
+}
+
+// Tune sets one named target-side knob (e.g. "gc.trigger", "gc.target", or
+// a "policy.<class>.<knob>" resilience key) via a #TUNE# control message.
 func (c *Client) Tune(key string, value float64) error {
 	msg := osd.TuneCommand{Key: key, Value: value}.Encode()
 	resp, err := c.roundTrip(nil, Request{Op: OpControl, Payload: []byte(msg)})

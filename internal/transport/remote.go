@@ -44,6 +44,12 @@ type RemoteTarget struct {
 	deadSkips atomic.Int64
 	redials   atomic.Int64
 
+	// res, when set, is the resilience registry the redial loop consults
+	// for the wire.dial class (backoff shape, attempt bound, retry
+	// budget). Nil falls back to the built-in defaults, which reproduce
+	// the historical redial constants exactly.
+	res atomic.Pointer[policy.Resilience]
+
 	mu          sync.Mutex
 	clients     []*Client
 	redialing   []bool
@@ -112,12 +118,17 @@ func DialRemoteTargetPool(addr string, conns int) (*RemoteTarget, error) {
 	return rt, nil
 }
 
-// Redial policy for dead pooled connections: bounded exponential backoff
-// with jitter, wall-clock only.
+// Historical redial constants, now the wire.dial defaults in
+// internal/policy (kept as reference values; the redial loop reads the
+// registry).
 const (
 	redialBaseDelay = 5 * time.Millisecond
 	redialMaxDelay  = 1 * time.Second
 )
+
+// SetResilience points the redial loop at a resilience registry; nil keeps
+// the built-in wire.dial defaults.
+func (rt *RemoteTarget) SetResilience(r *policy.Resilience) { rt.res.Store(r) }
 
 // client picks the connection for the next operation: round-robin over the
 // pool, skipping connections whose reader has died (their calls would fail
@@ -156,15 +167,18 @@ func (rt *RemoteTarget) maybeRedialLocked(slot int) {
 	go rt.redial(slot)
 }
 
-// redial replaces a dead connection, backing off exponentially (with ±25%
-// jitter) between attempts until the dial succeeds or the pool closes.
+// redial replaces a dead connection, backing off per the wire.dial retry
+// rule (default: exponential from 5ms capped at 1s with ±25% deterministic
+// jitter, unbounded attempts) until the dial succeeds, the rule's attempt
+// bound or retry budget runs out, or the pool closes.
 func (rt *RemoteTarget) redial(slot int) {
-	delay := redialBaseDelay
-	for attempt := uint64(0); ; attempt++ {
+	res := rt.res.Load()
+	retry := res.Rule(policy.OpWireDial).Retry
+	for attempt := 0; ; attempt++ {
 		// Deterministic jitter in [0.75, 1.25) of the nominal delay keeps
 		// a burst of redialing slots from thundering in lockstep.
-		h := (uint64(slot)<<32 + attempt + 1) * 0x9E3779B97F4A7C15
-		jittered := delay*3/4 + time.Duration(h%uint64(delay)/2)
+		h := (uint64(slot)<<32 + uint64(attempt) + 1) * 0x9E3779B97F4A7C15
+		jittered := retry.BackoffDelay(attempt, h)
 		select {
 		case <-rt.closed:
 			rt.mu.Lock()
@@ -175,12 +189,22 @@ func (rt *RemoteTarget) redial(slot int) {
 		}
 		c, err := Dial(rt.addr)
 		if err != nil {
-			delay *= 2
-			if delay > redialMaxDelay {
-				delay = redialMaxDelay
+			res.ObserveAttempt(policy.OpWireDial, attempt, policy.OutcomeTransient, 0)
+			if retry.MaxAttempts > 0 && attempt+1 >= retry.MaxAttempts {
+				rt.mu.Lock()
+				rt.redialing[slot] = false
+				rt.mu.Unlock()
+				return
+			}
+			if !res.AllowRetry(policy.OpWireDial) {
+				rt.mu.Lock()
+				rt.redialing[slot] = false
+				rt.mu.Unlock()
+				return
 			}
 			continue
 		}
+		res.ObserveAttempt(policy.OpWireDial, attempt, policy.OutcomeOK, 0)
 		rt.mu.Lock()
 		select {
 		case <-rt.closed:

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/reo-cache/reo/internal/flash"
+	"github.com/reo-cache/reo/internal/policy"
+	"github.com/reo-cache/reo/internal/store"
+)
+
+func TestResilienceCodecRoundTrip(t *testing.T) {
+	in := []policy.ClassRule{
+		{
+			Class: policy.OpReadDegraded,
+			Rule: policy.Rule{
+				Retry: policy.RetryRule{
+					MaxAttempts: 7,
+					BaseBackoff: 125 * time.Microsecond,
+					MaxBackoff:  9 * time.Millisecond,
+					Jitter:      0.3125,
+				},
+				Timeout: 250 * time.Millisecond,
+				Hedge: policy.HedgeRule{
+					Delay:         200 * time.Microsecond,
+					DelayQuantile: 0.99,
+					MaxHedges:     3,
+				},
+				Budget: policy.BudgetRule{Rate: 12.5, Burst: 40},
+			},
+		},
+		{Class: policy.OpWireDial, Rule: policy.DefaultRule(policy.OpWireDial)},
+		{Class: policy.OpDefault},
+	}
+	out, err := decodeResilience(encodeResilience(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := decodeResilience(make([]byte, resilienceEntrySize-1)); err == nil {
+		t.Fatal("misaligned payload accepted")
+	}
+}
+
+// TestResilienceOverWire drives the policy plane end to end: the client
+// fetches the target's default rules, tunes one knob through #TUNE#, and
+// sees the change reflected in a fresh snapshot.
+func TestResilienceOverWire(t *testing.T) {
+	st, err := store.New(store.Config{
+		Devices: 3,
+		DeviceSpec: flash.Spec{
+			CapacityBytes:  1 << 20,
+			ReadBandwidth:  500e6,
+			WriteBandwidth: 400e6,
+			ReadLatency:    50 * time.Microsecond,
+			WriteLatency:   60 * time.Microsecond,
+		},
+		ChunkSize: 1024,
+		Policy:    policy.Uniform{ParityChunks: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st, ln)
+	t.Cleanup(func() { _ = srv.Close() })
+	a, b := net.Pipe()
+	go srv.HandleConn(b)
+	client := NewClient(a)
+	t.Cleanup(func() { _ = client.Close() })
+
+	rules, err := client.ResilienceRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != int(policy.NumOpClasses) {
+		t.Fatalf("got %d classes, want %d", len(rules), policy.NumOpClasses)
+	}
+	for _, cr := range rules {
+		if cr.Rule != policy.DefaultRule(cr.Class) {
+			t.Fatalf("class %v rule %+v differs from default", cr.Class, cr.Rule)
+		}
+	}
+
+	// 200µs hedge delay on read.degraded, via the knob's seconds encoding.
+	if err := client.Tune("policy.read.degraded.hedge.delay", 200e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Tune("policy.read.degraded.hedge.max", 2); err != nil {
+		t.Fatal(err)
+	}
+	rules, err = client.ResilienceRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rules[policy.OpReadDegraded].Rule.Hedge
+	if h.Delay != 200*time.Microsecond || h.MaxHedges != 2 {
+		t.Fatalf("hedge rule after tune = %+v", h)
+	}
+	if err := client.Tune("policy.read.degraded.bogus", 1); err == nil {
+		t.Fatal("unknown policy knob accepted")
+	}
+	if err := client.Tune("policy.no.such.class.retry.max", 1); err == nil {
+		t.Fatal("unknown policy class accepted")
+	}
+}

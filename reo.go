@@ -129,6 +129,8 @@ type config struct {
 	admission        cache.AdmissionMode
 	admitMinHits     int
 	ghostCapacity    int
+	hedgeDelay       time.Duration
+	hedgeMax         int
 }
 
 // Option customises a Cache.
@@ -217,6 +219,24 @@ func WithWriteAwareAdmission(minHits, ghostCapacity int) Option {
 	}
 }
 
+// WithHedgedReads arms hedged degraded reads: when the health monitor marks
+// a device suspect (fail-slow), a read whose primary path would wait on that
+// device races a second attempt — another replica, or a parity
+// reconstruction avoiding every suspect device — fired after delay.
+// First success wins in virtual time; the loser is cancelled. maxHedges
+// bounds concurrent in-flight hedges (<= 0 selects 4). Hedging is off by
+// default; arming it leaves fault-free runs byte-identical (the race only
+// engages on suspect devices) but tail latencies under fail-slow faults
+// improve by roughly the slowdown factor. Equivalent to
+// `reoctl policy set read.degraded hedge.delay=<delay> hedge.max=<max>`
+// against a live target.
+func WithHedgedReads(delay time.Duration, maxHedges int) Option {
+	return func(c *config) {
+		c.hedgeDelay = delay
+		c.hedgeMax = maxHedges
+	}
+}
+
 // WithStripeOrderRecovery switches background recovery to traditional
 // storage-address order instead of class order (the paper's baseline; for
 // ablations).
@@ -283,6 +303,15 @@ func New(opts ...Option) (*Cache, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.hedgeDelay > 0 {
+		max := cfg.hedgeMax
+		if max <= 0 {
+			max = 4
+		}
+		rule := policy.DefaultRule(policy.OpReadDegraded)
+		rule.Hedge = policy.HedgeRule{Delay: cfg.hedgeDelay, MaxHedges: max}
+		st.Resilience().SetRule(policy.OpReadDegraded, rule)
 	}
 	be := backend.New(hdd.WD1TB(cfg.backendCapacity))
 	mgr, err := cache.New(cache.Config{
@@ -578,6 +607,24 @@ func (c *Cache) ScrubRepair() (ScrubRepairReport, error) {
 	report, cost, err := c.store.ScrubRepair()
 	c.clock.Advance(cost)
 	return report, err
+}
+
+// HedgeStats tallies the hedged-read lifecycle: hedges fired after their
+// delay, races won against the primary, losing hedges cancelled, and hedges
+// suppressed by the in-flight cap.
+type HedgeStats = policy.HedgeStats
+
+// HedgeStats snapshots the hedged-read counters (all zero unless
+// WithHedgedReads — or a runtime `policy set read.degraded` tune — armed
+// hedging).
+func (c *Cache) HedgeStats() HedgeStats { return c.store.Resilience().HedgeStats() }
+
+// TunePolicy applies one resilience-policy knob update at runtime, e.g.
+// TunePolicy("read.degraded.hedge.delay", 200e-6). Keys are
+// "<class>.<knob>" with durations in fractional seconds — the same keys
+// reoctl's policy subcommand sends over the wire.
+func (c *Cache) TunePolicy(key string, value float64) error {
+	return c.store.Resilience().Tune(key, value)
 }
 
 // DeviceHealth returns the health monitor's snapshot for device slot i:

@@ -423,3 +423,36 @@ func TestStatsExposed(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+func TestHedgedReadsOption(t *testing.T) {
+	c, err := New(
+		WithPolicy(FullReplicationPolicy()),
+		WithCacheCapacity(16<<20),
+		WithChunkSize(8<<10),
+		WithHedgedReads(50*time.Microsecond, 0), // 0 → default in-flight cap
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := UserObject(1)
+	if err := c.Seed(id, randBytes(3, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(id); err != nil { // miss → admit
+		t.Fatal(err)
+	}
+	if _, _, err := c.Read(id); err != nil { // hit
+		t.Fatal(err)
+	}
+	// Hedging is armed but the array is healthy: no device is suspect, so
+	// the race never engages and the counters stay zero.
+	if hs := c.HedgeStats(); hs != (HedgeStats{}) {
+		t.Fatalf("healthy array recorded hedge activity: %+v", hs)
+	}
+	if err := c.TunePolicy("read.degraded.hedge.delay", 100e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.TunePolicy("read.degraded.bogus", 1); err == nil {
+		t.Fatal("unknown policy knob accepted")
+	}
+}
